@@ -1,0 +1,592 @@
+package cardirect
+
+// This file regenerates every measurable claim of the paper (the experiment
+// index of DESIGN.md §3). Tests assert the paper's exact numbers where the
+// paper states them (edge counts, relations, the Greece configuration);
+// benchmarks measure the performance claims (linearity, the clipping
+// comparison the paper lists as future work). EXPERIMENTS.md records
+// paper-vs-measured for each.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cardirect/internal/baseline"
+	"cardirect/internal/clip"
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/experiments"
+	"cardirect/internal/geom"
+	"cardirect/internal/index"
+	"cardirect/internal/query"
+	"cardirect/internal/reason"
+	"cardirect/internal/workload"
+)
+
+// --- E1–E3: edge inflation (Fig. 3b, Fig. 3c, Example 3) ---
+
+func TestE1EdgeCounts(t *testing.T) {
+	ec, err := experiments.MeasureEdgeCounts("fig3b", experiments.Fig3bSquare(), experiments.RefRegion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.EdgesIn != 4 || ec.CDREdges != 8 || ec.ClipEdges != 16 || ec.ClipPieces != 4 {
+		t.Errorf("Fig 3b: in=%d cdr=%d clip=%d pieces=%d, paper wants 4/8/16/4",
+			ec.EdgesIn, ec.CDREdges, ec.ClipEdges, ec.ClipPieces)
+	}
+}
+
+func TestE2EdgeCounts(t *testing.T) {
+	ec, err := experiments.MeasureEdgeCounts("fig3c", experiments.Fig3cTriangle(), experiments.RefRegion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.EdgesIn != 3 || ec.CDREdges != 11 || ec.ClipEdges != 35 || ec.ClipPieces != 9 {
+		t.Errorf("Fig 3c: in=%d cdr=%d clip=%d pieces=%d, paper wants 3/11/35/9 (2 triangles, 6 quadrangles, 1 pentagon)",
+			ec.EdgesIn, ec.CDREdges, ec.ClipEdges, ec.ClipPieces)
+	}
+}
+
+func TestE3Example3(t *testing.T) {
+	ec, err := experiments.MeasureEdgeCounts("example3", experiments.Example3Quadrangle(), experiments.RefRegion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ParseRelation("B:W:NW:N:NE:E")
+	if ec.Relation != want {
+		t.Errorf("Example 3 relation = %v, want %v", ec.Relation, want)
+	}
+	if ec.EdgesIn != 4 || ec.CDREdges != 9 {
+		t.Errorf("Example 3: in=%d cdr=%d, paper wants 4/9", ec.EdgesIn, ec.CDREdges)
+	}
+	// The paper's "19 edges" for clipping reads as edges *introduced*
+	// (a 6-tile relation cannot clip into 5 pieces); see EXPERIMENTS.md.
+	if ec.ClipEdges-ec.EdgesIn != 19 {
+		t.Errorf("Example 3 clipping introduced %d edges, paper wants 19", ec.ClipEdges-ec.EdgesIn)
+	}
+}
+
+func BenchmarkE1EdgeInflation(b *testing.B) {
+	a, ref := experiments.Fig3bSquare(), experiments.RefRegion()
+	b.Run("ComputeCDR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ComputeCDR(a, ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Clipping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clip.ComputeCDR(a, ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE2EdgeInflation(b *testing.B) {
+	a, ref := experiments.Fig3cTriangle(), experiments.RefRegion()
+	b.Run("ComputeCDR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ComputeCDR(a, ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Clipping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clip.ComputeCDR(a, ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E4–E5: linear scaling (Theorems 1 and 2) ---
+
+var scalingSizes = []int{64, 256, 1024, 4096, 16384}
+
+func BenchmarkE4ScalingCDR(b *testing.B) {
+	g := workload.New(20040314)
+	for _, c := range g.ScalingSweep(scalingSizes) {
+		c := c
+		b.Run(fmt.Sprintf("edges=%d", c.Edges), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputeCDR(c.A, c.B); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(c.Edges), "ns/edge")
+		})
+	}
+}
+
+func BenchmarkE5ScalingCDRPct(b *testing.B) {
+	g := workload.New(20040314)
+	for _, c := range g.ScalingSweep(scalingSizes) {
+		c := c
+		b.Run(fmt.Sprintf("edges=%d", c.Edges), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ComputeCDRPct(c.A, c.B); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(c.Edges), "ns/edge")
+		})
+	}
+}
+
+// TestE4LinearityShape is the non-benchmark linearity check: the ns/edge at
+// the largest size must stay within a small factor of the smallest size's —
+// superlinear behaviour would blow this up.
+func TestE4LinearityShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based; skipped in -short")
+	}
+	g := workload.New(20040314)
+	cases := g.ScalingSweep([]int{256, 16384})
+	perEdge := make([]float64, len(cases))
+	for i, c := range cases {
+		res := testing.Benchmark(func(b *testing.B) {
+			for j := 0; j < b.N; j++ {
+				core.ComputeCDR(c.A, c.B)
+			}
+		})
+		perEdge[i] = float64(res.NsPerOp()) / float64(c.Edges)
+	}
+	if ratio := perEdge[1] / perEdge[0]; ratio > 3 {
+		t.Errorf("ns/edge grew %.2fx from 256 to 16384 edges — not linear", ratio)
+	}
+}
+
+// --- E6–E7: versus clipping (the paper's future-work experiment) ---
+
+func BenchmarkE6CDRvsClipping(b *testing.B) {
+	g := workload.New(20040314)
+	for _, c := range g.ScalingSweep([]int{256, 4096}) {
+		c := c
+		b.Run(fmt.Sprintf("ComputeCDR/edges=%d", c.Edges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ComputeCDR(c.A, c.B)
+			}
+		})
+		b.Run(fmt.Sprintf("Clipping/edges=%d", c.Edges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clip.ComputeCDR(c.A, c.B)
+			}
+		})
+	}
+}
+
+func BenchmarkE7CDRPctVsClipping(b *testing.B) {
+	g := workload.New(20040314)
+	for _, c := range g.ScalingSweep([]int{256, 4096}) {
+		c := c
+		b.Run(fmt.Sprintf("ComputeCDRPct/edges=%d", c.Edges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.ComputeCDRPct(c.A, c.B)
+			}
+		})
+		b.Run(fmt.Sprintf("ClipPct/edges=%d", c.Edges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clip.ComputeCDRPct(c.A, c.B)
+			}
+		})
+	}
+}
+
+// TestE6Wins asserts the direction of the comparison: the single-pass
+// algorithm must beat nine-tile clipping on a large workload.
+func TestE6Wins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based; skipped in -short")
+	}
+	g := workload.New(20040314)
+	c := g.ScalingSweep([]int{4096})[0]
+	cdr := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ComputeCDR(c.A, c.B)
+		}
+	})
+	cl := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clip.ComputeCDR(c.A, c.B)
+		}
+	})
+	if cdr.NsPerOp() >= cl.NsPerOp() {
+		t.Errorf("Compute-CDR (%d ns) not faster than clipping (%d ns)", cdr.NsPerOp(), cl.NsPerOp())
+	}
+}
+
+// --- E8: single pass vs nine passes ---
+
+func TestE8ScanCounts(t *testing.T) {
+	g := workload.New(20040314)
+	c := g.ScalingSweep([]int{1024})[0]
+	_, stCDR, err := core.ComputeCDRStats(c.A, c.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stClip, err := clip.ComputeCDRStats(c.A, c.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stCDR.Passes != 1 {
+		t.Errorf("Compute-CDR passes = %d, want 1", stCDR.Passes)
+	}
+	if stClip.Passes != 9 {
+		t.Errorf("clipping passes = %d, want 9", stClip.Passes)
+	}
+	if stCDR.EdgeVisits != 1024 || stClip.EdgeVisits != 9*1024 {
+		t.Errorf("edge visits = %d vs %d, want 1024 vs 9216", stCDR.EdgeVisits, stClip.EdgeVisits)
+	}
+}
+
+// --- E9: the Peloponnesian-war configuration (Fig. 11/12) ---
+
+func TestE9Greece(t *testing.T) {
+	img := config.Greece()
+	pelop := img.FindRegion("peloponnesos").Geometry()
+	attica := img.FindRegion("attica").Geometry()
+	rel, err := core.ComputeCDR(pelop, attica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.String() != "B:S:SW:W" {
+		t.Errorf("Peloponnesos vs Attica = %v, paper (Fig. 12) says B:S:SW:W", rel)
+	}
+	m, _, err := core.ComputeCDRPct(attica, pelop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Sum()-100) > 1e-9 {
+		t.Errorf("matrix sum = %v", m.Sum())
+	}
+	if m.Get(core.TileNE)+m.Get(core.TileE) < 70 {
+		t.Errorf("NE+E = %.1f%%, want the dominant share", m.Get(core.TileNE)+m.Get(core.TileE))
+	}
+}
+
+func BenchmarkE9Greece(b *testing.B) {
+	img := config.Greece()
+	b.Run("ComputeAllRelations", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := img.ComputeRelations(false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ComputeAllRelationsPct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := img.ComputeRelations(true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E10–E12: reasoning ---
+
+func BenchmarkE10Inverse(b *testing.B) {
+	reason.Inverse(core.S) // warm the tables outside the timer
+	b.ResetTimer()
+	rels := core.AllRelations()
+	for i := 0; i < b.N; i++ {
+		reason.Inverse(rels[i%len(rels)])
+	}
+}
+
+func BenchmarkE11Composition(b *testing.B) {
+	reason.Composition(core.N, core.S) // warm the tables
+	rels := core.AllRelations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reason.Composition(rels[i%97], rels[(i*31)%len(rels)])
+	}
+}
+
+func BenchmarkE12Consistency(b *testing.B) {
+	b.Run("sat-chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := reason.NewNetwork()
+			n.ConstrainRel("a", "b", core.N)
+			n.ConstrainRel("b", "c", core.N)
+			if _, err := n.Solve(reason.SolveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unsat-cycle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := reason.NewNetwork()
+			n.ConstrainRel("a", "b", core.N)
+			n.ConstrainRel("b", "c", core.N)
+			n.ConstrainRel("c", "a", core.N)
+			if _, err := n.Solve(reason.SolveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E13: query evaluation ---
+
+func BenchmarkE13Query(b *testing.B) {
+	img := config.Greece()
+	ev, err := query.NewEvaluator(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := query.Parse("q(a, b) :- color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E14: expressiveness vs approximations ---
+
+func TestE14(t *testing.T) {
+	g := workload.New(20040314)
+	pairs := g.Pairs(400, 10)
+	contradict := 0
+	for _, p := range pairs {
+		exact, err := core.ComputeCDR(p.A, p.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := baseline.MBB(p.A, p.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The MBB model is a sound upper approximation: it may add tiles
+		// but never contradict.
+		if baseline.CompareMBB(approx, exact) == baseline.AgreeContradict {
+			contradict++
+		}
+	}
+	if contradict != 0 {
+		t.Errorf("MBB model contradicted the exact model on %d pairs", contradict)
+	}
+}
+
+func BenchmarkE14Expressiveness(b *testing.B) {
+	g := workload.New(20040314)
+	pairs := g.Pairs(64, 10)
+	b.Run("Exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			core.ComputeCDR(p.A, p.B)
+		}
+	})
+	b.Run("MBB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			baseline.MBB(p.A, p.B)
+		}
+	})
+	b.Run("Cone", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			baseline.CentroidCone(p.A, p.B, 0)
+		}
+	})
+}
+
+// --- E15: intersection computations ---
+
+func TestE15OpCounts(t *testing.T) {
+	g := workload.New(20040314)
+	for _, c := range g.ScalingSweep([]int{256, 4096}) {
+		_, stCDR, err := core.ComputeCDRStats(c.A, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stClip, err := clip.ComputeCDRStats(c.A, c.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stCDR.Intersections >= stClip.Intersections {
+			t.Errorf("edges=%d: Compute-CDR computed %d intersections, clipping %d — expected fewer",
+				c.Edges, stCDR.Intersections, stClip.Intersections)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §3) ---
+
+// BenchmarkAblationQualitativeVsAreaDerived compares the paper's midpoint
+// classification against deriving the qualitative relation from the
+// percentage computation — the design choice that makes a separate
+// Compute-CDR worthwhile.
+func BenchmarkAblationQualitativeVsAreaDerived(b *testing.B) {
+	g := workload.New(20040314)
+	c := g.ScalingSweep([]int{4096})[0]
+	b.Run("MidpointClassification", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ComputeCDR(c.A, c.B)
+		}
+	})
+	b.Run("AreaDerived", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, areas, err := core.ComputeCDRPct(c.A, c.B)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = areas.Relation(1e-12)
+		}
+	})
+}
+
+// TestAblationInteriorSideRule shows the tie-breaking rule is load-bearing:
+// naive middle-column classification of on-line segments reports B:W where
+// the definition demands W.
+func TestAblationInteriorSideRule(t *testing.T) {
+	b := experiments.RefRegion()
+	a := workload.BoxRegion(-3, 1, 0, 5) // shares the line x = 0 with mbb(b)
+	grid, err := core.NewGrid(b.BoundingBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive: classify split segments by midpoint only (ClassifyPoint).
+	var naive core.Relation
+	for _, p := range a.Clockwise() {
+		for i := 0; i < p.NumEdges(); i++ {
+			for _, s := range grid.SplitEdge(p.Edge(i), nil) {
+				naive = naive.Union(core.Rel(grid.ClassifyPoint(s.Mid())))
+			}
+		}
+	}
+	exact, err := core.ComputeCDR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != core.W {
+		t.Fatalf("exact relation = %v, want W", exact)
+	}
+	if naive == exact {
+		t.Error("naive midpoint classification should differ on shared-boundary input (it spuriously adds B)")
+	}
+	if !naive.Has(core.TileB) {
+		t.Errorf("expected the naive result to contain the spurious B tile, got %v", naive)
+	}
+}
+
+// BenchmarkAblationSinglePass quantifies what the nine scans cost clipping
+// beyond its edge inflation: per-pass cost on identical input.
+func BenchmarkAblationSinglePass(b *testing.B) {
+	g := workload.New(20040314)
+	c := g.ScalingSweep([]int{1024})[0]
+	grid, err := core.NewGrid(c.B.BoundingBox())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("OnePassSplit", func(b *testing.B) {
+		buf := make([]core.Grid, 0) // avoid unused import gymnastics
+		_ = buf
+		for i := 0; i < b.N; i++ {
+			for _, p := range c.A {
+				for j := 0; j < p.NumEdges(); j++ {
+					grid.SplitEdge(p.Edge(j), nil)
+				}
+			}
+		}
+	})
+	b.Run("NineTileClip", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clip.Segment(c.A, c.B); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E16 (extension): R-tree-accelerated directional selection ---
+
+func TestE16IndexedMatchesNaive(t *testing.T) {
+	g := workload.New(20040314)
+	geoms := map[string]geom.Region{}
+	var items []index.Item
+	for i := 0; i < 200; i++ {
+		cx := float64(i%15) * 12
+		cy := float64(i/15) * 12
+		r := geom.Rgn(g.StarPolygon(cx, cy, 1, 4, 8))
+		id := fmt.Sprintf("r%04d", i)
+		geoms[id] = r
+		items = append(items, index.Item{Box: r.BoundingBox(), ID: id})
+	}
+	tree, err := index.BulkLoad(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.BoxRegion(80, 70, 100, 90)
+	allowed := core.NewRelationSet(core.SW, core.Rel(core.TileS, core.TileSW), core.NE)
+	got, err := index.DirectionalSelect(tree, geoms, ref, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for id, r := range geoms {
+		rel, err := core.ComputeCDR(r, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allowed.Contains(rel) {
+			want[id] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("indexed %d != naive %d", len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("spurious hit %s", id)
+		}
+	}
+}
+
+func BenchmarkE16IndexedSelection(b *testing.B) {
+	g := workload.New(20040314)
+	geoms := map[string]geom.Region{}
+	var items []index.Item
+	for i := 0; i < 1000; i++ {
+		cx := float64(i%32) * 12
+		cy := float64(i/32) * 12
+		r := geom.Rgn(g.StarPolygon(cx, cy, 1, 4, 8))
+		id := fmt.Sprintf("r%05d", i)
+		geoms[id] = r
+		items = append(items, index.Item{Box: r.BoundingBox(), ID: id})
+	}
+	tree, err := index.BulkLoad(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := workload.BoxRegion(180, 180, 200, 200)
+	allowed := core.NewRelationSet(core.SW, core.Rel(core.TileS, core.TileSW))
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := index.DirectionalSelect(tree, geoms, ref, allowed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range geoms {
+				rel, err := core.ComputeCDR(r, ref)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = allowed.Contains(rel)
+			}
+		}
+	})
+}

@@ -1,0 +1,346 @@
+// Package cardirect is a Go implementation of "Computing and Handling
+// Cardinal Direction Information" (Skiadopoulos, Giannoukos, Vassiliadis,
+// Sellis, Koubarakis — EDBT 2004): the cardinal direction relation model
+// for composite regions (REG*), the paper's two linear-time computation
+// algorithms, the reasoning operations built on the model (inverse,
+// composition, consistency of constraint networks), polygon-clipping and
+// point/MBB-approximation baselines, and the CARDIRECT tool's XML
+// configuration store and query language.
+//
+// # Quick start
+//
+//	a := cardirect.BoxRegion(12, 2, 14, 10)   // primary region
+//	b := cardirect.BoxRegion(0, 0, 10, 6)     // reference region
+//	rel, _ := cardirect.ComputeCDR(a, b)      // NE:E
+//	m, _, _ := cardirect.ComputeCDRPct(a, b)  // 50% NE, 50% E
+//
+// The package is a façade: the implementation lives in the internal
+// packages (geom, core, clip, baseline, reason, config, query, index,
+// topo, workload), re-exported here as a single stable API surface.
+package cardirect
+
+import (
+	"io"
+
+	"cardirect/internal/baseline"
+	"cardirect/internal/clip"
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/index"
+	"cardirect/internal/query"
+	"cardirect/internal/reason"
+	"cardirect/internal/topo"
+	"cardirect/internal/workload"
+)
+
+// Geometry types (planar substrate).
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Polygon is a simple polygon as a clockwise vertex ring.
+	Polygon = geom.Polygon
+	// Region is a REG* region: a set of simple polygons, possibly
+	// disconnected, possibly encoding holes via shared boundaries.
+	Region = geom.Region
+	// Rect is an axis-aligned rectangle (minimum bounding boxes).
+	Rect = geom.Rect
+	// Segment is a directed edge.
+	Segment = geom.Segment
+)
+
+// Geometry constructors.
+var (
+	// Pt builds a Point.
+	Pt = geom.Pt
+	// Poly builds a Polygon from vertices.
+	Poly = geom.Poly
+	// Rgn builds a Region from polygons.
+	Rgn = geom.Rgn
+	// Box builds an axis-aligned rectangle polygon.
+	Box = workload.Box
+	// BoxRegion builds a single-rectangle region.
+	BoxRegion = workload.BoxRegion
+)
+
+// Relation model types.
+type (
+	// Tile identifies one of the nine tiles (B, S, SW, W, NW, N, NE, E, SE).
+	Tile = core.Tile
+	// Relation is a basic cardinal direction relation — a non-empty tile set.
+	Relation = core.Relation
+	// RelationSet is a set of basic relations (disjunctive information).
+	RelationSet = core.RelationSet
+	// PercentMatrix is a direction relation matrix with percentages.
+	PercentMatrix = core.PercentMatrix
+	// TileAreas holds per-tile absolute areas.
+	TileAreas = core.TileAreas
+	// Stats instruments one algorithm run (edge counts, passes).
+	Stats = core.Stats
+	// Grid is the nine-tile partition induced by a reference bounding box.
+	Grid = core.Grid
+)
+
+// Tile constants re-exported in canonical order.
+const (
+	TileB  = core.TileB
+	TileS  = core.TileS
+	TileSW = core.TileSW
+	TileW  = core.TileW
+	TileNW = core.TileNW
+	TileN  = core.TileN
+	TileNE = core.TileNE
+	TileE  = core.TileE
+	TileSE = core.TileSE
+)
+
+// Single-tile relation constants.
+const (
+	B  = core.B
+	S  = core.S
+	SW = core.SW
+	W  = core.W
+	NW = core.NW
+	N  = core.N
+	NE = core.NE
+	E  = core.E
+	SE = core.SE
+)
+
+// Relation model functions.
+var (
+	// Rel builds a relation from tiles.
+	Rel = core.Rel
+	// ParseRelation parses "B:S:SW"-style notation.
+	ParseRelation = core.ParseRelation
+	// ParseRelationSet parses "{N, NW:N}"-style notation.
+	ParseRelationSet = core.ParseRelationSet
+	// NewRelationSet builds a relation set from members.
+	NewRelationSet = core.NewRelationSet
+	// AllRelations lists the 511 basic relations of D*.
+	AllRelations = core.AllRelations
+	// UniverseSet is the set of all basic relations.
+	UniverseSet = core.Universe
+	// NewGrid builds the tile grid of a reference bounding box.
+	NewGrid = core.NewGrid
+)
+
+// The paper's algorithms (§3).
+var (
+	// ComputeCDR is Algorithm Compute-CDR: the qualitative cardinal
+	// direction relation between two REG* regions, in a single pass over
+	// the primary region's edges.
+	ComputeCDR = core.ComputeCDR
+	// ComputeCDRStats is ComputeCDR with instrumentation.
+	ComputeCDRStats = core.ComputeCDRStats
+	// ComputeCDRPct is Algorithm Compute-CDR%: the cardinal direction
+	// relation with percentages.
+	ComputeCDRPct = core.ComputeCDRPct
+	// ComputeCDRPctStats is ComputeCDRPct with instrumentation.
+	ComputeCDRPctStats = core.ComputeCDRPctStats
+)
+
+// Polygon-clipping baselines (§3's comparison method).
+var (
+	// ClipComputeCDR computes the relation by clipping the primary region
+	// against all nine tiles (nine passes).
+	ClipComputeCDR = clip.ComputeCDR
+	// ClipComputeCDRStats is ClipComputeCDR with instrumentation.
+	ClipComputeCDRStats = clip.ComputeCDRStats
+	// ClipComputeCDRPct computes percentages by clip-then-measure.
+	ClipComputeCDRPct = clip.ComputeCDRPct
+	// ClipComputeCDRPctStats is ClipComputeCDRPct with instrumentation.
+	ClipComputeCDRPctStats = clip.ComputeCDRPctStats
+	// LiangBarsky clips a segment against a rectangle (possibly unbounded).
+	LiangBarsky = clip.LiangBarsky
+)
+
+// Approximate prior-art models (§1–§2 positioning).
+type (
+	// Direction is a cone direction of the centroid-based models.
+	Direction = baseline.Direction
+	// Agreement grades a coarse model against the exact relation.
+	Agreement = baseline.Agreement
+)
+
+var (
+	// CentroidCone is the Frank-style cone direction between centroids.
+	CentroidCone = baseline.CentroidCone
+	// MBBRelation is the bounding-box-only relation.
+	MBBRelation = baseline.MBB
+	// PeuquetDirection resolves direction Peuquet & Ci-Xiang-style.
+	PeuquetDirection = baseline.PeuquetDirection
+	// CompareMBB grades an MBB answer against the exact relation.
+	CompareMBB = baseline.CompareMBB
+	// CompareCone grades a cone answer against the exact relation.
+	CompareCone = baseline.CompareCone
+)
+
+// Reasoning operations ("handling", §2 and the paper's refs [20–22]).
+type (
+	// Network is a cardinal direction constraint network.
+	Network = reason.Network
+	// Witness realises a consistent network as concrete regions.
+	Witness = reason.Witness
+	// SolveOptions bounds the consistency search.
+	SolveOptions = reason.SolveOptions
+)
+
+var (
+	// Inverse computes inv(R) — the possible relations of b w.r.t. a
+	// given a R b.
+	Inverse = reason.Inverse
+	// InverseSet lifts Inverse to disjunctive relations.
+	InverseSet = reason.InverseSet
+	// MutuallyInverse tests joint realisability of (R1, R2).
+	MutuallyInverse = reason.MutuallyInverse
+	// Composition computes the sound composition of two relations.
+	Composition = reason.Composition
+	// CompositionSets lifts Composition to disjunctive relations.
+	CompositionSets = reason.CompositionSets
+	// NewNetwork creates an empty constraint network.
+	NewNetwork = reason.NewNetwork
+)
+
+// CARDIRECT configuration store (§4).
+type (
+	// Image is a CARDIRECT configuration document.
+	Image = config.Image
+	// ConfigRegion is a named, coloured region of a configuration.
+	ConfigRegion = config.Region
+	// ConfigRelation is a materialised relation entry.
+	ConfigRelation = config.Relation
+)
+
+var (
+	// LoadImage parses a CARDIRECT XML document from a reader.
+	LoadImage = config.Load
+	// ParseImage parses a CARDIRECT XML document from bytes.
+	ParseImage = config.Parse
+	// Greece is the paper's Fig. 11 Peloponnesian-war configuration.
+	Greece = config.Greece
+	// ParsePct decodes a pct attribute into a PercentMatrix.
+	ParsePct = config.ParsePct
+)
+
+// Query language (§4).
+type (
+	// Query is a parsed conjunctive query.
+	Query = query.Query
+	// Binding is one query answer (variable → region id).
+	Binding = query.Binding
+	// Evaluator answers queries over a configuration.
+	Evaluator = query.Evaluator
+)
+
+var (
+	// ParseQuery parses the concrete query syntax.
+	ParseQuery = query.Parse
+	// NewEvaluator prepares a query evaluator for a configuration.
+	NewEvaluator = query.NewEvaluator
+)
+
+// Workload generation (experiments and examples).
+type (
+	// Generator produces deterministic synthetic regions.
+	Generator = workload.Generator
+	// WorkloadPair is a primary/reference region pair.
+	WorkloadPair = workload.Pair
+)
+
+// NewGenerator returns a seeded workload generator.
+var NewGenerator = workload.New
+
+// SaveImage writes a configuration as XML.
+func SaveImage(img *Image, w io.Writer) error { return img.Save(w) }
+
+// Streaming and batch computation (beyond-paper conveniences that preserve
+// the algorithms' single-pass structure).
+type (
+	// Accumulator streams primary-region edges through Compute-CDR(%).
+	Accumulator = core.Accumulator
+	// NamedRegion pairs a region with an identifier for batch APIs.
+	NamedRegion = core.NamedRegion
+	// PairRelation is one batch result entry.
+	PairRelation = core.PairRelation
+)
+
+var (
+	// NewAccumulator prepares a streaming computation against a reference box.
+	NewAccumulator = core.NewAccumulator
+	// ComputeAllPairs computes every ordered pair's relation.
+	ComputeAllPairs = core.ComputeAllPairs
+	// FindRelated filters candidates by their relation to a reference.
+	FindRelated = core.FindRelated
+)
+
+// Geometry interchange and construction helpers.
+var (
+	// ParseWKT reads POLYGON/MULTIPOLYGON Well-Known Text into a Region,
+	// decomposing holes into the paper's REG* representation.
+	ParseWKT = geom.ParseWKT
+	// FormatWKT renders a Region as MULTIPOLYGON Well-Known Text.
+	FormatWKT = geom.FormatWKT
+	// DecomposeWithHoles converts outer-ring-plus-holes into REG*.
+	DecomposeWithHoles = geom.DecomposeWithHoles
+	// ParseGeoJSON reads a GeoJSON Polygon/MultiPolygon into a Region.
+	ParseGeoJSON = geom.ParseGeoJSON
+	// FormatGeoJSON renders a Region as a GeoJSON MultiPolygon.
+	FormatGeoJSON = geom.FormatGeoJSON
+	// ConvexHull computes the convex hull of points.
+	ConvexHull = geom.ConvexHull
+	// HullOfRegion computes the convex hull of a region's vertices.
+	HullOfRegion = geom.HullOfRegion
+)
+
+// Spatial indexing (the R-tree substrate of the paper's reference [13]).
+type (
+	// RTree is an in-memory R-tree over bounding boxes.
+	RTree = index.RTree
+	// IndexItem is one indexed box with an identifier.
+	IndexItem = index.Item
+)
+
+var (
+	// NewRTree returns an empty R-tree.
+	NewRTree = index.New
+	// BulkLoadRTree packs items with sort-tile-recursive loading.
+	BulkLoadRTree = index.BulkLoad
+	// DirectionalSelect finds regions matching a relation set against a
+	// reference, with MBB-level pruning through the index.
+	DirectionalSelect = index.DirectionalSelect
+)
+
+// Topological and distance relations (the paper's §5 future-work item 2:
+// "combining topological [2] and distance relations [3]" with directions).
+type (
+	// RCC8 is a Region Connection Calculus base relation.
+	RCC8 = topo.RCC8
+	// QualitativeDistance is a Frank-style distance class.
+	QualitativeDistance = topo.Distance
+)
+
+// RCC8 base relation constants.
+const (
+	RccDC    = topo.DC
+	RccEC    = topo.EC
+	RccPO    = topo.PO
+	RccEQ    = topo.EQ
+	RccTPP   = topo.TPP
+	RccNTPP  = topo.NTPP
+	RccTPPi  = topo.TPPi
+	RccNTPPi = topo.NTPPi
+)
+
+var (
+	// IntersectionArea computes the exact overlay area of two regions.
+	IntersectionArea = topo.IntersectionArea
+	// BoundariesTouch tests boundary contact between two regions.
+	BoundariesTouch = topo.BoundariesTouch
+	// ClassifyRCC8 determines the topological relation of two regions.
+	ClassifyRCC8 = topo.Classify
+	// MinDistance is the minimum Euclidean distance between two regions.
+	MinDistance = topo.MinDistance
+	// ClassifyDistance quantises MinDistance against the reference's scale.
+	ClassifyDistance = topo.ClassifyDistance
+)

@@ -1,0 +1,96 @@
+// Command cdrgen generates synthetic CARDIRECT configurations for testing
+// and benchmarking: random star-polygon regions, multi-component regions,
+// or country-like regions with islands and an enclave hole, emitted in the
+// paper's XML format.
+//
+// Usage:
+//
+//	cdrgen [-seed N] [-regions N] [-components N] [-edges N]
+//	       [-kind star|multi|country] [-window W] [-out file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cardirect/internal/config"
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cdrgen:", err)
+		os.Exit(1)
+	}
+}
+
+var colors = []string{"blue", "red", "black", "green", "orange"}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cdrgen", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed (deterministic output)")
+	nRegions := fs.Int("regions", 8, "number of regions")
+	components := fs.Int("components", 1, "polygons per region (multi kind)")
+	edges := fs.Int("edges", 8, "edges per polygon")
+	kind := fs.String("kind", "star", "region kind: star | multi | country")
+	window := fs.Float64("window", 100, "side of the square placement window")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nRegions < 1 {
+		return fmt.Errorf("need at least one region")
+	}
+
+	g := workload.New(*seed)
+	img := &config.Image{Name: fmt.Sprintf("synthetic-%s-%d", *kind, *seed), File: "synthetic.png"}
+	cell := *window / float64(ceilSqrt(*nRegions))
+	for i := 0; i < *nRegions; i++ {
+		cx := (float64(i%ceilSqrt(*nRegions)) + 0.5) * cell
+		cy := (float64(i/ceilSqrt(*nRegions)) + 0.5) * cell
+		var region geom.Region
+		switch *kind {
+		case "star":
+			region = geom.Rgn(g.StarPolygon(cx, cy, cell*0.1, cell*0.45, *edges))
+		case "multi":
+			w := geom.Rect{MinX: cx - cell/2, MinY: cy - cell/2, MaxX: cx + cell/2, MaxY: cy + cell/2}
+			region = g.Region(w, *components, *edges)
+		case "country":
+			region = g.Country(cx, cy, cell*0.8, *edges, 3)
+		default:
+			return fmt.Errorf("unknown kind %q", *kind)
+		}
+		r := config.Region{
+			ID:    fmt.Sprintf("r%03d", i),
+			Name:  fmt.Sprintf("Region %d", i),
+			Color: colors[i%len(colors)],
+		}
+		r.SetGeometry(region)
+		img.Regions = append(img.Regions, r)
+	}
+	if err := img.Validate(); err != nil {
+		return fmt.Errorf("generated configuration invalid: %w", err)
+	}
+
+	w := stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return img.Save(w)
+}
+
+func ceilSqrt(n int) int {
+	k := 1
+	for k*k < n {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cardirect/internal/config"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"star", "multi", "country"} {
+		out := gen(t, "-kind", kind, "-regions", "4", "-seed", "3")
+		img, err := config.Parse([]byte(out))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := img.Validate(); err != nil {
+			t.Fatalf("%s: generated config invalid: %v", kind, err)
+		}
+		if len(img.Regions) != 4 {
+			t.Errorf("%s: regions = %d", kind, len(img.Regions))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := gen(t, "-seed", "9", "-regions", "3")
+	b := gen(t, "-seed", "9", "-regions", "3")
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+	c := gen(t, "-seed", "10", "-regions", "3")
+	if a == c {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-regions", "0"}, &out); err == nil {
+		t.Error("zero regions should fail")
+	}
+	if err := run([]string{"-kind", "blob"}, &out); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestGeneratedConfigIsQueryable(t *testing.T) {
+	out := gen(t, "-kind", "star", "-regions", "9", "-seed", "4")
+	img, err := config.Parse([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.ComputeRelations(false); err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Relations) != 9*8 {
+		t.Errorf("relations = %d", len(img.Relations))
+	}
+	if !strings.Contains(out, "synthetic-star-4") {
+		t.Error("image name missing")
+	}
+}

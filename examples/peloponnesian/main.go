@@ -1,0 +1,84 @@
+// Peloponnesian: the paper's §4 walkthrough on the Fig. 11 map of Hellas —
+// annotate regions, compute both kinds of relations, persist the
+// configuration as CARDIRECT XML, and answer the paper's example query
+// ("find the regions of one alliance surrounded by a region of the other").
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cardirect"
+)
+
+func main() {
+	img := cardirect.Greece()
+
+	// Compute all pairwise relations (with percentages) and persist.
+	if err := img.ComputeRelations(true); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.CreateTemp("", "hellas-*.xml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := cardirect.SaveImage(img, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("configuration saved to %s\n\n", f.Name())
+
+	// Reload the persisted document — the XML interface of CARDIRECT.
+	g, err := os.Open(f.Name())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+	back, err := cardirect.LoadImage(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fig. 12: Peloponnesos vs Attica.
+	rel, _ := back.RelationBetween("peloponnesos", "attica")
+	fmt.Printf("Peloponnesos is %s of Attica (paper: B:S:SW:W)\n", rel.Type)
+	inv, _ := back.RelationBetween("attica", "peloponnesos")
+	m, err := cardirect.ParsePct(inv.Pct)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAttica is, of Peloponnesos:\n%v\n", m)
+
+	// The paper's query: regions of the Athenean Alliance (blue) surrounded
+	// by a region of the Spartan Alliance (red).
+	ev, err := cardirect.NewEvaluator(back)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := "q(a, b) :- color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b"
+	answers, err := ev.EvalString(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", q)
+	for _, ans := range answers {
+		fmt.Printf("  %s surrounds %s\n",
+			back.FindRegion(ans["a"]).Name, back.FindRegion(ans["b"]).Name)
+	}
+
+	// A second query: everything north of Attica, any alliance.
+	q2 := "q(x, y) :- y = attica, x {N, NW:N, N:NE, NW:N:NE, NW, NE} y"
+	north, err := ev.EvalString(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", q2)
+	for _, ans := range north {
+		r := back.FindRegion(ans["x"])
+		fmt.Printf("  %s (%s)\n", r.Name, r.Color)
+	}
+}

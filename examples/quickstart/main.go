@@ -1,0 +1,51 @@
+// Quickstart: compute the cardinal direction relation between two regions —
+// the Fig. 1c example of the paper, where region c is 50% northeast and 50%
+// east of region b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cardirect"
+)
+
+func main() {
+	// The reference region b: its bounding box spans [0,10]×[0,6] and
+	// induces the nine tiles B, S, SW, W, NW, N, NE, E, SE.
+	b := cardirect.BoxRegion(0, 0, 10, 6)
+
+	// The primary region c straddles the NE and E tiles of b.
+	c := cardirect.BoxRegion(12, 2, 14, 10)
+
+	// Qualitative relation (Algorithm Compute-CDR).
+	rel, err := cardirect.ComputeCDR(c, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("c %v b\n\n", rel)
+	fmt.Println("direction relation matrix:")
+	fmt.Println(rel.MatrixString())
+
+	// Quantitative relation (Algorithm Compute-CDR%).
+	m, areas, err := cardirect.ComputeCDRPct(c, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncardinal direction matrix with percentages:")
+	fmt.Println(m)
+	fmt.Printf("\ntotal area accounted for: %.1f (region area %.1f)\n",
+		areas.Total(), c.Area())
+
+	// Regions can be disconnected and carry holes (class REG*): a region of
+	// two islands.
+	islands := cardirect.Rgn(
+		cardirect.Box(-4, -4, -1, -1),
+		cardirect.Box(12, 8, 15, 11),
+	)
+	rel2, err := cardirect.ComputeCDR(islands, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nislands %v b (a disconnected primary region)\n", rel2)
+}

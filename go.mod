@@ -1,0 +1,3 @@
+module cardirect
+
+go 1.22

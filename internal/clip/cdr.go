@@ -1,0 +1,105 @@
+package clip
+
+import (
+	"fmt"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+// Segmentation is the output of clipping the primary region against all
+// nine tiles of the reference grid: the clipped pieces per tile, as used by
+// the clipping-based relation computation. The paper's §3 discussion of this
+// method's drawbacks (edge inflation, nine scans) is measured from the
+// Stats.
+type Segmentation struct {
+	Pieces [core.NumTiles][]geom.Polygon
+	Stats  core.Stats
+}
+
+// Segment clips every polygon of the primary region a against each of the
+// nine tiles induced by mbb(b). This is the "naive" segmentation the paper
+// contrasts Compute-CDR with: the edge list of a is scanned once per tile.
+func Segment(a, b geom.Region) (*Segmentation, error) {
+	if len(a) == 0 {
+		return nil, fmt.Errorf("clip: primary region is empty")
+	}
+	if len(b) == 0 {
+		return nil, fmt.Errorf("clip: reference region is empty")
+	}
+	g, err := core.NewGrid(b.BoundingBox())
+	if err != nil {
+		return nil, err
+	}
+	seg := &Segmentation{}
+	edgesIn := a.NumEdges()
+	seg.Stats.EdgesIn = edgesIn
+	for _, t := range core.Tiles() {
+		hs := TileHalfPlanes(g, t)
+		for _, p := range a {
+			seg.Stats.EdgeVisits += p.NumEdges()
+			piece := clipPolygonAllCounting(p.Clockwise(), hs, &seg.Stats.Intersections)
+			if len(piece) >= 3 && piece.Area() > 0 {
+				seg.Pieces[t] = append(seg.Pieces[t], piece)
+				seg.Stats.EdgesOut += piece.NumEdges()
+			}
+		}
+		seg.Stats.Passes++
+	}
+	return seg, nil
+}
+
+// Areas returns the total clipped area per tile.
+func (s *Segmentation) Areas() core.TileAreas {
+	var areas core.TileAreas
+	for t, pieces := range s.Pieces {
+		for _, p := range pieces {
+			areas[t] += p.Area()
+		}
+	}
+	return areas
+}
+
+// ComputeCDR computes the qualitative cardinal direction relation by
+// clipping: a tile belongs to the relation iff the primary region's clipped
+// area in it is positive (beyond float residue). It is the baseline against
+// which the paper's single-pass Compute-CDR is evaluated.
+func ComputeCDR(a, b geom.Region) (core.Relation, error) {
+	r, _, err := ComputeCDRStats(a, b)
+	return r, err
+}
+
+// ComputeCDRStats is ComputeCDR with instrumentation.
+func ComputeCDRStats(a, b geom.Region) (core.Relation, core.Stats, error) {
+	seg, err := Segment(a, b)
+	if err != nil {
+		return 0, core.Stats{}, err
+	}
+	areas := seg.Areas()
+	rel := areas.Relation(1e-12)
+	if !rel.IsValid() {
+		return 0, seg.Stats, fmt.Errorf("clip: primary region produced no tiles (degenerate input)")
+	}
+	return rel, seg.Stats, nil
+}
+
+// ComputeCDRPct computes the cardinal direction relation with percentages by
+// clipping each polygon to each tile and measuring the pieces — the naive
+// method §3.2 of the paper replaces with reference-line area accumulation.
+func ComputeCDRPct(a, b geom.Region) (core.PercentMatrix, core.TileAreas, error) {
+	m, ta, _, err := ComputeCDRPctStats(a, b)
+	return m, ta, err
+}
+
+// ComputeCDRPctStats is ComputeCDRPct with instrumentation.
+func ComputeCDRPctStats(a, b geom.Region) (core.PercentMatrix, core.TileAreas, core.Stats, error) {
+	seg, err := Segment(a, b)
+	if err != nil {
+		return core.PercentMatrix{}, core.TileAreas{}, core.Stats{}, err
+	}
+	areas := seg.Areas()
+	if areas.Total() <= 0 {
+		return core.PercentMatrix{}, areas, seg.Stats, fmt.Errorf("clip: primary region has zero area")
+	}
+	return areas.Percent(), areas, seg.Stats, nil
+}

@@ -1,0 +1,162 @@
+package clip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+func boxRegion(minX, minY, maxX, maxY float64) geom.Region {
+	return geom.Rgn(sq(minX, minY, maxX, maxY))
+}
+
+// starPolygon builds a random simple polygon: vertices at strictly
+// increasing jittered angles around a centre with random radii (star-shaped,
+// hence simple), normalised clockwise.
+func starPolygon(rng *rand.Rand, cx, cy, rMin, rMax float64, n int) geom.Polygon {
+	p := make(geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * (float64(i) + 0.1 + 0.8*rng.Float64()) / float64(n)
+		r := rMin + rng.Float64()*(rMax-rMin)
+		p[i] = geom.Pt(cx+r*math.Cos(th), cy+r*math.Sin(th))
+	}
+	return p.Clockwise()
+}
+
+func TestSegmentStats(t *testing.T) {
+	b := boxRegion(0, 0, 10, 6)
+	a := boxRegion(-2, 4, 2, 8) // the Fig. 3b square over B,W,NW,N
+	seg, err := Segment(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Stats.Passes != 9 {
+		t.Errorf("Passes = %d, want 9 (one scan per tile)", seg.Stats.Passes)
+	}
+	if seg.Stats.EdgesIn != 4 {
+		t.Errorf("EdgesIn = %d", seg.Stats.EdgesIn)
+	}
+	if seg.Stats.EdgeVisits != 9*4 {
+		t.Errorf("EdgeVisits = %d, want 36", seg.Stats.EdgeVisits)
+	}
+	if seg.Stats.EdgesOut != 16 {
+		t.Errorf("EdgesOut = %d, want 16 (Fig. 3b)", seg.Stats.EdgesOut)
+	}
+}
+
+func TestClipComputeCDRMatchesCore(t *testing.T) {
+	b := boxRegion(0, 0, 10, 6)
+	fixtures := []geom.Region{
+		boxRegion(2, 2, 8, 4),       // B
+		boxRegion(-3, 1, 0, 5),      // W, shared boundary
+		boxRegion(-4, -4, 0, 0),     // SW corner touch
+		boxRegion(-10, -10, 20, 16), // contains mbb(b)
+		append(boxRegion(-5, -5, -2, -2), boxRegion(12, 8, 15, 11)...), // SW:NE
+	}
+	for i, a := range fixtures {
+		want, err := core.ComputeCDR(a, b)
+		if err != nil {
+			t.Fatalf("fixture %d: core: %v", i, err)
+		}
+		got, err := ComputeCDR(a, b)
+		if err != nil {
+			t.Fatalf("fixture %d: clip: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("fixture %d: clip %v != core %v", i, got, want)
+		}
+	}
+}
+
+// TestMonteCarloCrossValidation is the machine-checked substitute for the
+// paper's correctness proofs (TR [19], not available): the single-pass
+// algorithms and the independent nine-tile clipping implementation must
+// agree on relation and per-tile areas across randomized workloads.
+func TestMonteCarloCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040329)) // EDBT 2004
+	b := boxRegion(0, 0, 10, 6)
+	for trial := 0; trial < 300; trial++ {
+		nPolys := 1 + rng.Intn(3)
+		var a geom.Region
+		for i := 0; i < nPolys; i++ {
+			cx := -8 + rng.Float64()*26
+			cy := -6 + rng.Float64()*18
+			n := 3 + rng.Intn(9)
+			a = append(a, starPolygon(rng, cx, cy, 0.5, 3.5, n))
+		}
+		coreRel, err := core.ComputeCDR(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: core CDR: %v", trial, err)
+		}
+		clipRel, err := ComputeCDR(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: clip CDR: %v", trial, err)
+		}
+		if coreRel != clipRel {
+			t.Fatalf("trial %d: qualitative mismatch: core %v vs clip %v (region %v)",
+				trial, coreRel, clipRel, a)
+		}
+		_, coreAreas, err := core.ComputeCDRPct(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: core pct: %v", trial, err)
+		}
+		_, clipAreas, err := ComputeCDRPct(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: clip pct: %v", trial, err)
+		}
+		tol := 1e-6 * math.Max(1, coreAreas.Total())
+		for _, tile := range core.Tiles() {
+			if math.Abs(coreAreas[tile]-clipAreas[tile]) > tol {
+				t.Fatalf("trial %d: tile %v area: core %v vs clip %v",
+					trial, tile, coreAreas[tile], clipAreas[tile])
+			}
+		}
+	}
+}
+
+// TestEdgeInflationAdvantage verifies §3's claim that Compute-CDR introduces
+// significantly fewer edges than clipping on randomized multi-tile shapes.
+func TestEdgeInflationAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := boxRegion(0, 0, 10, 6)
+	var coreTotal, clipTotal int
+	for trial := 0; trial < 100; trial++ {
+		a := geom.Rgn(starPolygon(rng, 5, 3, 4, 9, 6+rng.Intn(10)))
+		_, coreStats, err := core.ComputeCDRStats(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, clipStats, err := ComputeCDRStats(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coreTotal += coreStats.EdgesOut
+		clipTotal += clipStats.EdgesOut
+	}
+	if coreTotal >= clipTotal {
+		t.Errorf("Compute-CDR edges %d not fewer than clipping edges %d", coreTotal, clipTotal)
+	}
+}
+
+func TestClipErrors(t *testing.T) {
+	b := boxRegion(0, 0, 10, 6)
+	if _, err := Segment(geom.Region{}, b); err == nil {
+		t.Error("empty primary should error")
+	}
+	if _, err := Segment(b, geom.Region{}); err == nil {
+		t.Error("empty reference should error")
+	}
+	if _, err := ComputeCDR(geom.Region{}, b); err == nil {
+		t.Error("ComputeCDR empty primary should error")
+	}
+	if _, _, err := ComputeCDRPct(geom.Region{}, b); err == nil {
+		t.Error("ComputeCDRPct empty primary should error")
+	}
+	line := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)))
+	if _, err := ComputeCDR(b, line); err == nil {
+		t.Error("degenerate reference should error")
+	}
+}

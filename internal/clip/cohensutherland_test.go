@@ -1,0 +1,144 @@
+package clip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cardirect/internal/geom"
+)
+
+func TestOutcodeOf(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 6}
+	cases := []struct {
+		p    geom.Point
+		want Outcode
+	}{
+		{geom.Pt(5, 3), 0},
+		{geom.Pt(0, 0), 0},  // boundary is inside (closed window)
+		{geom.Pt(10, 6), 0}, // corner
+		{geom.Pt(-1, 3), OutLeft},
+		{geom.Pt(11, 3), OutRight},
+		{geom.Pt(5, -1), OutBottom},
+		{geom.Pt(5, 7), OutTop},
+		{geom.Pt(-1, -1), OutLeft | OutBottom},
+		{geom.Pt(11, 7), OutRight | OutTop},
+	}
+	for _, c := range cases {
+		if got := OutcodeOf(c.p, r); got != c.want {
+			t.Errorf("OutcodeOf(%v) = %b, want %b", c.p, got, c.want)
+		}
+	}
+}
+
+func TestCohenSutherlandBasics(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	// Inside: unchanged.
+	in := geom.Seg(geom.Pt(1, 1), geom.Pt(9, 9))
+	got, ok := CohenSutherland(in, r)
+	if !ok || got != in {
+		t.Errorf("inside segment: %v, %v", got, ok)
+	}
+	// Trivially rejected.
+	if _, ok := CohenSutherland(geom.Seg(geom.Pt(-5, -5), geom.Pt(-1, -1)), r); ok {
+		t.Error("outside segment accepted")
+	}
+	// Horizontal crossing.
+	c, ok := CohenSutherland(geom.Seg(geom.Pt(-5, 5), geom.Pt(15, 5)), r)
+	if !ok || !c.A.Eq(geom.Pt(0, 5)) || !c.B.Eq(geom.Pt(10, 5)) {
+		t.Errorf("crossing clip = %v, %v", c, ok)
+	}
+	// Non-trivial rejection: both outcodes non-zero but disjoint, segment
+	// passes outside a corner.
+	if _, ok := CohenSutherland(geom.Seg(geom.Pt(-5, 5), geom.Pt(5, 25)), r); ok {
+		t.Error("corner-passing segment accepted")
+	}
+}
+
+// Property: Cohen–Sutherland and Liang–Barsky agree (acceptance and, within
+// tolerance, clipped endpoints) on random segments.
+func TestCohenSutherlandAgreesWithLiangBarsky(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 6}
+	f := func(ax, ay, bx, by int16) bool {
+		a := geom.Pt(float64(ax%30), float64(ay%30))
+		b := geom.Pt(float64(bx%30), float64(by%30))
+		if a.Eq(b) {
+			return true
+		}
+		s := geom.Seg(a, b)
+		cs, okCS := CohenSutherland(s, r)
+		lb, okLB := LiangBarsky(s, r)
+		if okCS != okLB {
+			// Benign divergence: a segment grazing the window in a single
+			// point (zero-length clip) may be kept by one algorithm and
+			// rejected by the other. Anything longer must agree.
+			if okLB && lb.IsDegenerate() {
+				return true
+			}
+			if okCS && cs.IsDegenerate() {
+				return true
+			}
+			return false
+		}
+		if !okCS {
+			return true
+		}
+		const eps = 1e-9
+		return cs.A.Dist(lb.A) < eps && cs.B.Dist(lb.B) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCohenSutherlandUnboundedTile(t *testing.T) {
+	tile := geom.Rect{MinX: 10, MinY: 6, MaxX: math.Inf(1), MaxY: math.Inf(1)}
+	s := geom.Seg(geom.Pt(0, 0), geom.Pt(20, 12))
+	got, ok := CohenSutherland(s, tile)
+	if !ok {
+		t.Fatal("segment into unbounded tile rejected")
+	}
+	if got.A.X != 10 || math.Abs(got.A.Y-6) > 1e-12 {
+		t.Errorf("entry = %v, want (10,6)", got.A)
+	}
+}
+
+func TestClipSegmentsToRect(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	segs := []geom.Segment{
+		geom.Seg(geom.Pt(1, 1), geom.Pt(2, 2)),     // inside
+		geom.Seg(geom.Pt(-5, 5), geom.Pt(15, 5)),   // crossing
+		geom.Seg(geom.Pt(20, 20), geom.Pt(30, 30)), // outside
+	}
+	for _, cs := range []bool{true, false} {
+		got := ClipSegmentsToRect(segs, r, cs)
+		if len(got) != 2 {
+			t.Errorf("cs=%v: clipped %d segments, want 2", cs, len(got))
+		}
+	}
+}
+
+func BenchmarkLineClipping(b *testing.B) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 6}
+	segs := make([]geom.Segment, 256)
+	for i := range segs {
+		segs[i] = geom.Seg(
+			geom.Pt(float64((i*7)%30)-10, float64((i*13)%20)-7),
+			geom.Pt(float64((i*11)%30)-10, float64((i*17)%20)-7),
+		)
+	}
+	b.Run("CohenSutherland", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range segs {
+				CohenSutherland(s, r)
+			}
+		}
+	})
+	b.Run("LiangBarsky", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range segs {
+				LiangBarsky(s, r)
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package clip
+
+import (
+	"math"
+
+	"cardirect/internal/geom"
+)
+
+// LiangBarsky clips the segment to the closed axis-aligned rectangle with
+// the Liang–Barsky parametric algorithm (the paper's reference [7]). It
+// returns the clipped segment and whether any part of the segment lies in
+// the rectangle. Rectangle bounds may be ±Inf, which lets the same routine
+// clip against the unbounded tiles of a reference grid.
+func LiangBarsky(s geom.Segment, r geom.Rect) (geom.Segment, bool) {
+	dx := s.B.X - s.A.X
+	dy := s.B.Y - s.A.Y
+	t0, t1 := 0.0, 1.0
+
+	// clipTest updates [t0, t1] for one boundary: p is the direction
+	// component against the boundary, q the signed distance to it.
+	clipTest := func(p, q float64) bool {
+		if p == 0 {
+			return q >= 0 // parallel: inside iff on the right side
+		}
+		t := q / p
+		if p < 0 {
+			if t > t1 {
+				return false
+			}
+			if t > t0 {
+				t0 = t
+			}
+		} else {
+			if t < t0 {
+				return false
+			}
+			if t < t1 {
+				t1 = t
+			}
+		}
+		return true
+	}
+
+	ok := clipBound(clipTest, -dx, s.A.X-r.MinX) && // left:  x ≥ MinX
+		clipBound(clipTest, dx, r.MaxX-s.A.X) && // right: x ≤ MaxX
+		clipBound(clipTest, -dy, s.A.Y-r.MinY) && // bottom
+		clipBound(clipTest, dy, r.MaxY-s.A.Y) // top
+	if !ok || t0 > t1 {
+		return geom.Segment{}, false
+	}
+	a := geom.Point{X: s.A.X + t0*dx, Y: s.A.Y + t0*dy}
+	b := geom.Point{X: s.A.X + t1*dx, Y: s.A.Y + t1*dy}
+	// Snap the clipped endpoints onto finite boundaries they were clipped to.
+	a = snapToRect(a, r)
+	b = snapToRect(b, r)
+	return geom.Segment{A: a, B: b}, true
+}
+
+// clipBound skips boundaries at ±Inf (always satisfied) and otherwise
+// delegates to the parametric test.
+func clipBound(test func(p, q float64) bool, p, q float64) bool {
+	if math.IsInf(q, 1) {
+		return true
+	}
+	if math.IsInf(q, -1) {
+		return false
+	}
+	return test(p, q)
+}
+
+// snapToRect snaps coordinates that landed within one ulp-ish of a finite
+// boundary exactly onto it, so repeated clipping does not drift.
+func snapToRect(p geom.Point, r geom.Rect) geom.Point {
+	const eps = 1e-12
+	snap := func(v, bound float64) float64 {
+		if !math.IsInf(bound, 0) && math.Abs(v-bound) <= eps*math.Max(1, math.Abs(bound)) {
+			return bound
+		}
+		return v
+	}
+	p.X = snap(snap(p.X, r.MinX), r.MaxX)
+	p.Y = snap(snap(p.Y, r.MinY), r.MaxY)
+	return p
+}

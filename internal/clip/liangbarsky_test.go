@@ -1,0 +1,113 @@
+package clip
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cardirect/internal/geom"
+)
+
+func TestLiangBarskyInside(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	s := geom.Seg(geom.Pt(1, 1), geom.Pt(9, 9))
+	got, ok := LiangBarsky(s, r)
+	if !ok || got != s {
+		t.Errorf("fully-inside segment changed: %v, %v", got, ok)
+	}
+}
+
+func TestLiangBarskyOutside(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	for _, s := range []geom.Segment{
+		geom.Seg(geom.Pt(-5, -5), geom.Pt(-1, -1)),
+		geom.Seg(geom.Pt(11, 0), geom.Pt(20, 10)),
+		geom.Seg(geom.Pt(0, 11), geom.Pt(10, 12)),
+		geom.Seg(geom.Pt(-5, 5), geom.Pt(5, 25)), // passes above the corner
+	} {
+		if _, ok := LiangBarsky(s, r); ok {
+			t.Errorf("outside segment %v accepted", s)
+		}
+	}
+}
+
+func TestLiangBarskyCrossing(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	s := geom.Seg(geom.Pt(-5, 5), geom.Pt(15, 5))
+	got, ok := LiangBarsky(s, r)
+	if !ok {
+		t.Fatal("crossing segment rejected")
+	}
+	if !got.A.Eq(geom.Pt(0, 5)) || !got.B.Eq(geom.Pt(10, 5)) {
+		t.Errorf("clip = %v", got)
+	}
+	// Diagonal entering through a corner.
+	d := geom.Seg(geom.Pt(-2, -2), geom.Pt(5, 5))
+	gd, ok := LiangBarsky(d, r)
+	if !ok {
+		t.Fatal("diagonal rejected")
+	}
+	if !gd.A.Eq(geom.Pt(0, 0)) || !gd.B.Eq(geom.Pt(5, 5)) {
+		t.Errorf("diagonal clip = %v", gd)
+	}
+}
+
+func TestLiangBarskyTangent(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	// Segment sliding along the top boundary: inside (closed rect).
+	s := geom.Seg(geom.Pt(2, 10), geom.Pt(8, 10))
+	got, ok := LiangBarsky(s, r)
+	if !ok || got != s {
+		t.Errorf("tangent segment: %v, %v", got, ok)
+	}
+	// Parallel but outside.
+	if _, ok := LiangBarsky(geom.Seg(geom.Pt(2, 10.5), geom.Pt(8, 10.5)), r); ok {
+		t.Error("parallel outside segment accepted")
+	}
+}
+
+func TestLiangBarskyUnboundedTile(t *testing.T) {
+	// The NE tile of a grid: x ≥ 10, y ≥ 6, unbounded above/right.
+	tile := geom.Rect{MinX: 10, MinY: 6, MaxX: math.Inf(1), MaxY: math.Inf(1)}
+	s := geom.Seg(geom.Pt(0, 0), geom.Pt(20, 12))
+	got, ok := LiangBarsky(s, tile)
+	if !ok {
+		t.Fatal("segment into unbounded tile rejected")
+	}
+	if got.A.X != 10 || math.Abs(got.A.Y-6) > 1e-12 {
+		t.Errorf("entry point = %v, want (10,6)", got.A)
+	}
+	if !got.B.Eq(geom.Pt(20, 12)) {
+		t.Errorf("exit point = %v", got.B)
+	}
+}
+
+// Property: the clipped segment lies within the rectangle and within the
+// original segment's bounding box; clipping is idempotent.
+func TestLiangBarskyInvariantProperty(t *testing.T) {
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 6}
+	f := func(ax, ay, bx, by int16) bool {
+		a := geom.Pt(float64(ax%30), float64(ay%30))
+		b := geom.Pt(float64(bx%30), float64(by%30))
+		if a.Eq(b) {
+			return true
+		}
+		s := geom.Seg(a, b)
+		c, ok := LiangBarsky(s, r)
+		if !ok {
+			return true
+		}
+		const eps = 1e-9
+		within := func(p geom.Point) bool {
+			return p.X >= r.MinX-eps && p.X <= r.MaxX+eps && p.Y >= r.MinY-eps && p.Y <= r.MaxY+eps
+		}
+		if !within(c.A) || !within(c.B) {
+			return false
+		}
+		c2, ok2 := LiangBarsky(c, r)
+		return ok2 && c2.A.Dist(c.A) < eps && c2.B.Dist(c.B) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

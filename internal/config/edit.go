@@ -1,0 +1,142 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"cardirect/internal/geom"
+)
+
+// AddRegion appends a new region with the given geometry. The id must be
+// unique and non-empty; the geometry must validate. Materialised relations
+// are left untouched (they no longer cover all pairs — call
+// ComputeRelations to refresh).
+func (img *Image) AddRegion(id, name, color string, g geom.Region) error {
+	if id == "" {
+		return fmt.Errorf("config: empty region id")
+	}
+	if img.FindRegion(id) != nil {
+		return fmt.Errorf("config: region id %q already exists", id)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("config: region %q: %w", id, err)
+	}
+	r := Region{ID: id, Name: name, Color: color}
+	r.SetGeometry(g)
+	img.Regions = append(img.Regions, r)
+	return nil
+}
+
+// RemoveRegion deletes the region with the given id and every materialised
+// relation mentioning it. It reports whether the region existed.
+func (img *Image) RemoveRegion(id string) bool {
+	idx := -1
+	for i := range img.Regions {
+		if img.Regions[i].ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	img.Regions = append(img.Regions[:idx], img.Regions[idx+1:]...)
+	kept := img.Relations[:0]
+	for _, rel := range img.Relations {
+		if rel.Primary != id && rel.Reference != id {
+			kept = append(kept, rel)
+		}
+	}
+	img.Relations = kept
+	return true
+}
+
+// RenameRegion changes a region's id, updating materialised relations. The
+// new id must be unique and non-empty.
+func (img *Image) RenameRegion(oldID, newID string) error {
+	if newID == "" {
+		return fmt.Errorf("config: empty new region id")
+	}
+	if oldID == newID {
+		return nil
+	}
+	if img.FindRegion(newID) != nil {
+		return fmt.Errorf("config: region id %q already exists", newID)
+	}
+	r := img.FindRegion(oldID)
+	if r == nil {
+		return fmt.Errorf("config: region %q not found", oldID)
+	}
+	r.ID = newID
+	for i := range r.Polygons {
+		r.Polygons[i].ID = fmt.Sprintf("%s-p%d", newID, i)
+	}
+	for i := range img.Relations {
+		if img.Relations[i].Primary == oldID {
+			img.Relations[i].Primary = newID
+		}
+		if img.Relations[i].Reference == oldID {
+			img.Relations[i].Reference = newID
+		}
+	}
+	return nil
+}
+
+// SetRegionGeometry replaces a region's polygons and drops the materialised
+// relations that mention it (they are stale now).
+func (img *Image) SetRegionGeometry(id string, g geom.Region) error {
+	r := img.FindRegion(id)
+	if r == nil {
+		return fmt.Errorf("config: region %q not found", id)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("config: region %q: %w", id, err)
+	}
+	r.SetGeometry(g)
+	kept := img.Relations[:0]
+	for _, rel := range img.Relations {
+		if rel.Primary != id && rel.Reference != id {
+			kept = append(kept, rel)
+		}
+	}
+	img.Relations = kept
+	return nil
+}
+
+// Summary aggregates document statistics for describe-style output.
+type Summary struct {
+	Regions      int
+	Polygons     int
+	Edges        int
+	Relations    int
+	Colors       []string // distinct colors, sorted
+	TotalArea    float64
+	BoundingBox  geom.Rect
+	MultiPolygon int // regions with more than one polygon (REG* composites)
+}
+
+// Summarize computes the document statistics.
+func (img *Image) Summarize() Summary {
+	s := Summary{Relations: len(img.Relations), BoundingBox: geom.EmptyRect()}
+	colors := map[string]bool{}
+	for i := range img.Regions {
+		r := &img.Regions[i]
+		g := r.Geometry()
+		s.Regions++
+		s.Polygons += len(r.Polygons)
+		s.Edges += g.NumEdges()
+		s.TotalArea += g.Area()
+		s.BoundingBox = s.BoundingBox.Union(g.BoundingBox())
+		if len(r.Polygons) > 1 {
+			s.MultiPolygon++
+		}
+		if r.Color != "" {
+			colors[r.Color] = true
+		}
+	}
+	for c := range colors {
+		s.Colors = append(s.Colors, c)
+	}
+	sort.Strings(s.Colors)
+	return s
+}

@@ -1,0 +1,38 @@
+package config
+
+import "testing"
+
+// FuzzParseImage checks the XML loader never panics and that accepted,
+// valid documents survive a save/load roundtrip structurally.
+func FuzzParseImage(f *testing.F) {
+	valid, err := Greece().Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`<?xml version="1.0"?><Image name="x"><Region id="r"><Polygon id="p"><Edge x="0" y="0"/><Edge x="1" y="0"/><Edge x="0" y="1"/></Polygon></Region></Image>`)
+	f.Add("<Image></Image>")
+	f.Add("not xml")
+	f.Add(`<Image><Region id="a"/><Region id="a"/></Image>`)
+	f.Fuzz(func(t *testing.T, s string) {
+		img, err := Parse([]byte(s))
+		if err != nil {
+			return
+		}
+		if err := img.Validate(); err != nil {
+			return // parsed but structurally invalid: fine
+		}
+		data, err := img.Bytes()
+		if err != nil {
+			t.Fatalf("save of valid document failed: %v", err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("reload failed: %v", err)
+		}
+		if len(back.Regions) != len(img.Regions) || len(back.Relations) != len(img.Relations) {
+			t.Fatalf("roundtrip changed structure: %d/%d vs %d/%d regions/relations",
+				len(back.Regions), len(back.Relations), len(img.Regions), len(img.Relations))
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package config
+
+import "cardirect/internal/geom"
+
+// Greece rebuilds the paper's Fig. 11 configuration: a map of Hellas at the
+// time of the Peloponnesian war, annotated with the areas of the Athenean
+// Alliance (blue), the Spartan Alliance (red) and the Pro-Spartan side
+// (black). Coordinates are in map units (x grows east, y grows north),
+// digitised so that the relations the paper reports hold — in particular
+// Peloponnesos is B:S:SW:W of Attica (Fig. 12) — and so that the paper's
+// example query ("regions of the Athenean Alliance surrounded by a region
+// of the Spartan Alliance") has an answer: Pylos, the Athenian enclave in
+// Messenia, sits in a hole of the Peloponnesos region.
+func Greece() *Image {
+	img := &Image{
+		Name: "Hellas, Peloponnesian war",
+		File: "hellas.png",
+	}
+	add := func(id, name, color string, g geom.Region) {
+		r := Region{ID: id, Name: name, Color: color}
+		r.SetGeometry(g.Clockwise())
+		img.Regions = append(img.Regions, r)
+	}
+
+	// Attica (blue): an L-shaped peninsula north-east of the Peloponnesos.
+	// Its west arm ([23.5,23.7]×[37.9,38.3]) reaches into the Peloponnesian
+	// bounding box above the coastal notch cut into the Peloponnesos below,
+	// so the two regions interleave — each has material inside the other's
+	// mbb (giving the B tiles of Fig. 12 in both directions) while their
+	// interiors stay disjoint; they touch along the isthmus at x = 23.7.
+	add("attica", "Attica", "blue", geom.Rgn(geom.Poly(
+		geom.Pt(23.5, 38.30),
+		geom.Pt(24.2, 38.30),
+		geom.Pt(24.2, 37.70),
+		geom.Pt(23.7, 37.70),
+		geom.Pt(23.7, 37.90),
+		geom.Pt(23.5, 37.90),
+	)))
+
+	// Peloponnesos (red): mainland ring with the Pylos enclave hole,
+	// decomposed into two simple polygons sharing boundary segments
+	// (Fig. 2-style hole representation). The hole spans
+	// [21.8,22.2]×[36.6,37.0]; the north-east coast has a notch
+	// ([23.4,23.7]×[37.85,38.0]) that Attica's west arm sits above.
+	left := geom.Poly(
+		geom.Pt(21.5, 38.0), geom.Pt(22.0, 38.0), geom.Pt(22.0, 37.0),
+		geom.Pt(21.8, 37.0), geom.Pt(21.8, 36.6), geom.Pt(22.0, 36.6),
+		geom.Pt(22.0, 36.3), geom.Pt(21.5, 36.3),
+	)
+	right := geom.Poly(
+		geom.Pt(22.0, 38.0), geom.Pt(23.4, 38.0), geom.Pt(23.4, 37.85),
+		geom.Pt(23.7, 37.85), geom.Pt(23.7, 36.3),
+		geom.Pt(22.0, 36.3), geom.Pt(22.0, 36.6), geom.Pt(22.2, 36.6),
+		geom.Pt(22.2, 37.0), geom.Pt(22.0, 37.0),
+	)
+	add("peloponnesos", "Peloponnesos", "red", geom.Rgn(left, right))
+
+	// Pylos (blue): the Athenian enclave strictly inside the hole.
+	add("pylos", "Pylos", "blue", geom.Rgn(geom.Poly(
+		geom.Pt(21.9, 36.85), geom.Pt(22.05, 36.85),
+		geom.Pt(22.05, 36.70), geom.Pt(21.9, 36.70),
+	)))
+
+	// Beotia (red): north-west of Attica.
+	add("beotia", "Beotia", "red", geom.Rgn(geom.Poly(
+		geom.Pt(23.0, 38.70), geom.Pt(23.7, 38.70),
+		geom.Pt(23.7, 38.30), geom.Pt(23.0, 38.30),
+	)))
+
+	// The Islands (blue): three Aegean islands — one disconnected region.
+	add("islands", "Islands", "blue", geom.Rgn(
+		geom.Poly(geom.Pt(24.5, 37.5), geom.Pt(24.9, 37.5), geom.Pt(24.9, 37.2), geom.Pt(24.5, 37.2)),
+		geom.Poly(geom.Pt(25.2, 37.0), geom.Pt(25.5, 37.0), geom.Pt(25.5, 36.7), geom.Pt(25.2, 36.7)),
+		geom.Poly(geom.Pt(25.0, 36.5), geom.Pt(25.3, 36.5), geom.Pt(25.3, 36.3), geom.Pt(25.0, 36.3)),
+	))
+
+	// The regions in the East / Ionia (blue).
+	add("ionia", "Ionia", "blue", geom.Rgn(geom.Poly(
+		geom.Pt(26.5, 38.5), geom.Pt(27.2, 38.5), geom.Pt(27.2, 37.0), geom.Pt(26.5, 37.0),
+	)))
+
+	// Corfu (blue).
+	add("corfu", "Corfu", "blue", geom.Rgn(geom.Poly(
+		geom.Pt(19.5, 39.8), geom.Pt(20.0, 39.8), geom.Pt(20.0, 39.3), geom.Pt(19.5, 39.3),
+	)))
+
+	// South Italy (blue).
+	add("south-italy", "South Italy", "blue", geom.Rgn(geom.Poly(
+		geom.Pt(16.0, 40.0), geom.Pt(17.5, 40.0), geom.Pt(17.5, 38.5), geom.Pt(16.0, 38.5),
+	)))
+
+	// Crete (red).
+	add("crete", "Crete", "red", geom.Rgn(geom.Poly(
+		geom.Pt(23.3, 35.4), geom.Pt(26.3, 35.4), geom.Pt(26.3, 34.8), geom.Pt(23.3, 34.8),
+	)))
+
+	// Sicily (red).
+	add("sicily", "Sicily", "red", geom.Rgn(geom.Poly(
+		geom.Pt(12.5, 38.2), geom.Pt(15.0, 38.2), geom.Pt(15.0, 36.5), geom.Pt(12.5, 36.5),
+	)))
+
+	// Macedonia (black, Pro-Spartan).
+	add("macedonia", "Macedonia", "black", geom.Rgn(geom.Poly(
+		geom.Pt(21.5, 41.0), geom.Pt(24.0, 41.0), geom.Pt(24.0, 40.0), geom.Pt(21.5, 40.0),
+	)))
+
+	return img
+}

@@ -1,0 +1,112 @@
+package config
+
+import (
+	"testing"
+
+	"cardirect/internal/core"
+)
+
+func TestGreeceValidates(t *testing.T) {
+	img := Greece()
+	if err := img.Validate(); err != nil {
+		t.Fatalf("Greece fixture invalid: %v", err)
+	}
+	if len(img.Regions) != 11 {
+		t.Errorf("regions = %d, want 11", len(img.Regions))
+	}
+	// Every region's geometry passes strict validation (disjoint interiors,
+	// shared boundaries allowed for the Peloponnesos ring).
+	for i := range img.Regions {
+		if err := img.Regions[i].Geometry().ValidateStrict(); err != nil {
+			t.Errorf("region %q: %v", img.Regions[i].ID, err)
+		}
+	}
+}
+
+func TestGreeceFig12Relation(t *testing.T) {
+	img := Greece()
+	pelop := img.FindRegion("peloponnesos").Geometry()
+	attica := img.FindRegion("attica").Geometry()
+	rel, err := core.ComputeCDR(pelop, attica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ParseRelation("B:S:SW:W")
+	if rel != want {
+		t.Errorf("Peloponnesos vs Attica = %v, want %v (Fig. 12)", rel, want)
+	}
+	// The paper's right-hand matrix: Attica w.r.t. Peloponnesos occupies
+	// B, N, NE and E, with the NE/E share dominating.
+	back, err := core.ComputeCDR(attica, pelop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBack, _ := core.ParseRelation("B:N:NE:E")
+	if back != wantBack {
+		t.Errorf("Attica vs Peloponnesos = %v, want %v", back, wantBack)
+	}
+	m, _, err := core.ComputeCDRPct(attica, pelop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(core.TileNE)+m.Get(core.TileE) < 70 {
+		t.Errorf("NE+E share = %v%%, expected the dominant share (>70%%)", m.Get(core.TileNE)+m.Get(core.TileE))
+	}
+	if m.Get(core.TileB) > 15 {
+		t.Errorf("B share = %v%%, expected a small overlap (<15%%)", m.Get(core.TileB))
+	}
+}
+
+func TestGreecePylosSurrounded(t *testing.T) {
+	img := Greece()
+	pelop := img.FindRegion("peloponnesos").Geometry()
+	pylos := img.FindRegion("pylos").Geometry()
+	rel, err := core.ComputeCDR(pelop, pylos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ParseRelation("S:SW:W:NW:N:NE:E:SE")
+	if rel != want {
+		t.Errorf("Peloponnesos vs Pylos = %v, want %v (surrounded)", rel, want)
+	}
+}
+
+func TestGreeceComputeAllRelations(t *testing.T) {
+	img := Greece()
+	if err := img.ComputeRelations(true); err != nil {
+		t.Fatal(err)
+	}
+	n := len(img.Regions)
+	if len(img.Relations) != n*(n-1) {
+		t.Errorf("relations = %d, want %d", len(img.Relations), n*(n-1))
+	}
+	// Roundtrip the full annotated configuration.
+	data, err := img.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("roundtripped Greece invalid: %v", err)
+	}
+	if len(got.Relations) != n*(n-1) {
+		t.Errorf("roundtripped relations = %d", len(got.Relations))
+	}
+	// Alliances: Macedonia stays north of Attica.
+	rel, ok := got.RelationBetween("macedonia", "attica")
+	if !ok {
+		t.Fatal("macedonia→attica missing")
+	}
+	r, err := core.ParseRelation(rel.Type)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tile := range r.Tiles() {
+		if tile.Row() != 2 {
+			t.Errorf("Macedonia vs Attica includes non-north tile %v (%v)", tile, r)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cardirect/internal/geom"
+)
+
+// NamedRegion pairs a region with an identifier for batch computation.
+type NamedRegion struct {
+	Name   string
+	Region geom.Region
+}
+
+// PairRelation is one entry of a batch result: primary Name1 related to
+// reference Name2.
+type PairRelation struct {
+	Primary   string
+	Reference string
+	Relation  Relation
+}
+
+// ComputeAllPairs computes the cardinal direction relation for every
+// ordered pair of distinct regions — the bulk operation CARDIRECT performs
+// when a configuration is (re)annotated. Polygons are normalised and
+// bounding boxes computed once per region rather than once per pair, and
+// results come back sorted by (primary, reference).
+func ComputeAllPairs(regions []NamedRegion) ([]PairRelation, error) {
+	n := len(regions)
+	if n < 2 {
+		return nil, nil
+	}
+	names := make([]string, n)
+	seen := make(map[string]bool, n)
+	norm := make([]geom.Region, n)
+	grids := make([]Grid, n)
+	for i, r := range regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("core: region %d has empty name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("core: duplicate region name %q", r.Name)
+		}
+		seen[r.Name] = true
+		names[i] = r.Name
+		if len(r.Region) == 0 {
+			return nil, fmt.Errorf("core: region %q is empty", r.Name)
+		}
+		norm[i] = r.Region.Clockwise()
+		g, err := NewGrid(r.Region.BoundingBox())
+		if err != nil {
+			return nil, fmt.Errorf("core: region %q: %w", r.Name, err)
+		}
+		grids[i] = g
+	}
+	out := make([]PairRelation, 0, n*(n-1))
+	buf := make([]geom.Segment, 0, 8)
+	for pi := 0; pi < n; pi++ {
+		for ri := 0; ri < n; ri++ {
+			if pi == ri {
+				continue
+			}
+			grid := grids[ri]
+			center := grid.Box().Center()
+			var rel Relation
+			for _, p := range norm[pi] {
+				for i := 0; i < p.NumEdges(); i++ {
+					buf = grid.SplitEdge(p.Edge(i), buf[:0])
+					for _, s := range buf {
+						rel = rel.With(grid.ClassifySegment(s))
+					}
+				}
+				if p.Contains(center) {
+					rel = rel.With(TileB)
+				}
+			}
+			if !rel.IsValid() {
+				return nil, fmt.Errorf("core: %q vs %q produced no tiles", names[pi], names[ri])
+			}
+			out = append(out, PairRelation{Primary: names[pi], Reference: names[ri], Relation: rel})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Primary != out[j].Primary {
+			return out[i].Primary < out[j].Primary
+		}
+		return out[i].Reference < out[j].Reference
+	})
+	return out, nil
+}
+
+// FindRelated returns the names of the candidate regions whose relation to
+// the reference region is a member of the allowed set — the primitive
+// behind "retrieve combinations of interesting regions" queries when only
+// one side varies.
+func FindRelated(candidates []NamedRegion, reference geom.Region, allowed RelationSet) ([]string, error) {
+	if allowed.IsEmpty() {
+		return nil, fmt.Errorf("core: empty allowed relation set")
+	}
+	grid, err := NewGrid(reference.BoundingBox())
+	if err != nil {
+		return nil, err
+	}
+	center := grid.Box().Center()
+	buf := make([]geom.Segment, 0, 8)
+	var out []string
+	for _, c := range candidates {
+		var rel Relation
+		for _, p := range c.Region.Clockwise() {
+			for i := 0; i < p.NumEdges(); i++ {
+				buf = grid.SplitEdge(p.Edge(i), buf[:0])
+				for _, s := range buf {
+					rel = rel.With(grid.ClassifySegment(s))
+				}
+			}
+			if p.Contains(center) {
+				rel = rel.With(TileB)
+			}
+		}
+		if allowed.Contains(rel) {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import "testing"
+
+// FuzzParseRelation checks the relation parser never panics and that every
+// successfully parsed relation roundtrips through its canonical String form.
+func FuzzParseRelation(f *testing.F) {
+	for _, seed := range []string{
+		"B", "B:S:SW", "b:s:sw", "NE:E", "B:S:SW:W:NW:N:NE:E:SE",
+		"", ":", "B::S", "B:S:B", "X", "B S", "B,S", "b:S:w",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRelation(s)
+		if err != nil {
+			return
+		}
+		if !r.IsValid() {
+			t.Fatalf("ParseRelation(%q) returned invalid relation %v without error", s, r)
+		}
+		back, err := ParseRelation(r.String())
+		if err != nil || back != r {
+			t.Fatalf("roundtrip failed for %q: %v → %v (%v)", s, r, back, err)
+		}
+	})
+}
+
+// FuzzParseRelationSet does the same for disjunctive notation.
+func FuzzParseRelationSet(f *testing.F) {
+	for _, seed := range []string{
+		"{}", "{N}", "{N, NW:N}", "B:S", "{N,}", "{,}", "{N NW}", "{",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		set, err := ParseRelationSet(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseRelationSet(set.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", set.String(), err)
+		}
+		if !back.Equal(set) {
+			t.Fatalf("roundtrip changed the set: %v vs %v", set, back)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cardirect/internal/geom"
+)
+
+// testGrid is the tile grid of a reference box [0,10]×[0,6].
+func testGrid(t *testing.T) Grid {
+	t.Helper()
+	g, err := NewGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(geom.EmptyRect()); err == nil {
+		t.Error("empty box should be rejected")
+	}
+	if _, err := NewGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 0, MaxY: 5}); err == nil {
+		t.Error("zero-width box should be rejected")
+	}
+	if _, err := NewGrid(geom.Rect{MinX: 0, MinY: 3, MaxX: 5, MaxY: 3}); err == nil {
+		t.Error("zero-height box should be rejected")
+	}
+}
+
+func TestClassifyPoint(t *testing.T) {
+	g := testGrid(t)
+	cases := []struct {
+		p    geom.Point
+		want Tile
+	}{
+		{geom.Pt(5, 3), TileB},
+		{geom.Pt(5, -1), TileS},
+		{geom.Pt(-1, -1), TileSW},
+		{geom.Pt(-1, 3), TileW},
+		{geom.Pt(-1, 7), TileNW},
+		{geom.Pt(5, 7), TileN},
+		{geom.Pt(11, 7), TileNE},
+		{geom.Pt(11, 3), TileE},
+		{geom.Pt(11, -1), TileSE},
+		// On-line points resolve to the middle column/row.
+		{geom.Pt(0, 3), TileB},
+		{geom.Pt(10, 3), TileB},
+		{geom.Pt(5, 0), TileB},
+		{geom.Pt(5, 6), TileB},
+		{geom.Pt(0, 0), TileB},
+	}
+	for _, c := range cases {
+		if got := g.ClassifyPoint(c.p); got != c.want {
+			t.Errorf("ClassifyPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestClassifySegmentInterior(t *testing.T) {
+	g := testGrid(t)
+	// Ordinary segments strictly inside a tile.
+	if got := g.ClassifySegment(geom.Seg(geom.Pt(1, 1), geom.Pt(2, 2))); got != TileB {
+		t.Errorf("B segment = %v", got)
+	}
+	if got := g.ClassifySegment(geom.Seg(geom.Pt(-5, 8), geom.Pt(-4, 9))); got != TileNW {
+		t.Errorf("NW segment = %v", got)
+	}
+}
+
+func TestClassifySegmentOnLineInteriorSide(t *testing.T) {
+	g := testGrid(t)
+	// Vertical segment on the west line x = 0. Clockwise (y-up) orientation:
+	// northbound ⇒ interior to the east ⇒ middle column (tile B);
+	// southbound ⇒ interior to the west ⇒ tile W.
+	up := geom.Seg(geom.Pt(0, 2), geom.Pt(0, 4))
+	down := up.Reverse()
+	if got := g.ClassifySegment(up); got != TileB {
+		t.Errorf("northbound on x=m1 = %v, want B", got)
+	}
+	if got := g.ClassifySegment(down); got != TileW {
+		t.Errorf("southbound on x=m1 = %v, want W", got)
+	}
+	// On the east line x = 10: northbound ⇒ interior east ⇒ E; southbound ⇒ B.
+	upE := geom.Seg(geom.Pt(10, 2), geom.Pt(10, 4))
+	if got := g.ClassifySegment(upE); got != TileE {
+		t.Errorf("northbound on x=m2 = %v, want E", got)
+	}
+	if got := g.ClassifySegment(upE.Reverse()); got != TileB {
+		t.Errorf("southbound on x=m2 = %v, want B", got)
+	}
+	// Horizontal on the south line y = 0: eastbound ⇒ interior south ⇒ S;
+	// westbound ⇒ B.
+	east := geom.Seg(geom.Pt(2, 0), geom.Pt(6, 0))
+	if got := g.ClassifySegment(east); got != TileS {
+		t.Errorf("eastbound on y=l1 = %v, want S", got)
+	}
+	if got := g.ClassifySegment(east.Reverse()); got != TileB {
+		t.Errorf("westbound on y=l1 = %v, want B", got)
+	}
+	// Horizontal on the north line y = 6: eastbound ⇒ B; westbound ⇒ N.
+	eastN := geom.Seg(geom.Pt(2, 6), geom.Pt(6, 6))
+	if got := g.ClassifySegment(eastN); got != TileB {
+		t.Errorf("eastbound on y=l2 = %v, want B", got)
+	}
+	if got := g.ClassifySegment(eastN.Reverse()); got != TileN {
+		t.Errorf("westbound on y=l2 = %v, want N", got)
+	}
+	// On-line segments beyond the box corners: x = 0 above y = 6 separates
+	// NW from N.
+	upNW := geom.Seg(geom.Pt(0, 7), geom.Pt(0, 9))
+	if got := g.ClassifySegment(upNW); got != TileN {
+		t.Errorf("northbound on x=m1 above box = %v, want N", got)
+	}
+	if got := g.ClassifySegment(upNW.Reverse()); got != TileNW {
+		t.Errorf("southbound on x=m1 above box = %v, want NW", got)
+	}
+}
+
+func TestSplitEdgeNoCrossing(t *testing.T) {
+	g := testGrid(t)
+	e := geom.Seg(geom.Pt(1, 1), geom.Pt(2, 3))
+	got := g.SplitEdge(e, nil)
+	if len(got) != 1 || got[0] != e {
+		t.Errorf("SplitEdge = %v", got)
+	}
+	// Touching a line at an endpoint is not a crossing (Definition 3).
+	touch := geom.Seg(geom.Pt(0, 3), geom.Pt(5, 3))
+	if got := g.SplitEdge(touch, nil); len(got) != 1 {
+		t.Errorf("endpoint touch split into %d", len(got))
+	}
+	// A segment lying on a line is not split.
+	on := geom.Seg(geom.Pt(0, 1), geom.Pt(0, 5))
+	if got := g.SplitEdge(on, nil); len(got) != 1 {
+		t.Errorf("on-line segment split into %d", len(got))
+	}
+}
+
+func TestSplitEdgeSingleCrossing(t *testing.T) {
+	g := testGrid(t)
+	e := geom.Seg(geom.Pt(-2, 3), geom.Pt(4, 3))
+	got := g.SplitEdge(e, nil)
+	if len(got) != 2 {
+		t.Fatalf("split into %d segments", len(got))
+	}
+	if !got[0].B.Eq(geom.Pt(0, 3)) || !got[1].A.Eq(geom.Pt(0, 3)) {
+		t.Errorf("crossing point not snapped: %v", got)
+	}
+	if got[0].A != e.A || got[1].B != e.B {
+		t.Error("split does not preserve the edge endpoints")
+	}
+}
+
+func TestSplitEdgeMaxCrossings(t *testing.T) {
+	g := testGrid(t)
+	// Diagonal crossing all four lines at distinct points: from below-left
+	// of the box to above-right of it.
+	e := geom.Seg(geom.Pt(-2, -1), geom.Pt(12, 11))
+	got := g.SplitEdge(e, nil)
+	if len(got) != 5 {
+		t.Fatalf("split into %d segments, want 5", len(got))
+	}
+	// Continuity and tile purity.
+	for i := 0; i < len(got)-1; i++ {
+		if !got[i].B.Eq(got[i+1].A) {
+			t.Errorf("segments %d and %d not contiguous", i, i+1)
+		}
+	}
+	tiles := map[Tile]bool{}
+	for _, s := range got {
+		tiles[g.ClassifySegment(s)] = true
+	}
+	for _, want := range []Tile{TileSW, TileW, TileB, TileN, TileNE} {
+		if !tiles[want] {
+			t.Errorf("missing tile %v in %v", want, tiles)
+		}
+	}
+}
+
+func TestSplitEdgeThroughCorner(t *testing.T) {
+	g := testGrid(t)
+	// 45° segment through the exact corner (0,0): the vertical and
+	// horizontal cuts coincide and must coalesce to a single corner point.
+	e := geom.Seg(geom.Pt(-3, -3), geom.Pt(4, 4))
+	got := g.SplitEdge(e, nil)
+	if len(got) != 2 {
+		t.Fatalf("corner split into %d segments, want 2: %v", len(got), got)
+	}
+	if !got[0].B.Eq(geom.Pt(0, 0)) {
+		t.Errorf("corner point = %v, want (0,0)", got[0].B)
+	}
+	if g.ClassifySegment(got[0]) != TileSW || g.ClassifySegment(got[1]) != TileB {
+		t.Errorf("corner tiles = %v, %v", g.ClassifySegment(got[0]), g.ClassifySegment(got[1]))
+	}
+}
+
+// Property: splitting preserves endpoints and contiguity, yields 1–5
+// segments, and no sub-segment properly crosses a grid line.
+func TestSplitEdgeInvariantProperty(t *testing.T) {
+	g := Grid{M1: 0, M2: 10, L1: 0, L2: 6}
+	f := func(ax, ay, bx, by int16) bool {
+		a := geom.Pt(float64(ax%40), float64(ay%40))
+		b := geom.Pt(float64(bx%40), float64(by%40))
+		if a.Eq(b) {
+			return true
+		}
+		e := geom.Seg(a, b)
+		segs := g.SplitEdge(e, nil)
+		if len(segs) < 1 || len(segs) > 5 {
+			return false
+		}
+		if !segs[0].A.Eq(a) || !segs[len(segs)-1].B.Eq(b) {
+			return false
+		}
+		for i := 0; i < len(segs)-1; i++ {
+			if !segs[i].B.Eq(segs[i+1].A) {
+				return false
+			}
+		}
+		for _, s := range segs {
+			for _, m := range []float64{g.M1, g.M2} {
+				if _, crosses := s.CrossVertical(m); crosses {
+					return false
+				}
+			}
+			for _, l := range []float64{g.L1, g.L2} {
+				if _, crosses := s.CrossHorizontal(l); crosses {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tile of every split segment's midpoint matches where the
+// sub-segment actually lies (sampled at several interior parameters).
+func TestSplitEdgeTilePurityProperty(t *testing.T) {
+	g := Grid{M1: 0, M2: 10, L1: 0, L2: 6}
+	f := func(ax, ay, bx, by int16) bool {
+		a := geom.Pt(float64(ax%30), float64(ay%30))
+		b := geom.Pt(float64(bx%30), float64(by%30))
+		if a.Eq(b) {
+			return true
+		}
+		for _, s := range g.SplitEdge(geom.Seg(a, b), nil) {
+			want := g.ClassifyPoint(s.Mid())
+			for _, tt := range []float64{0.25, 0.5, 0.75} {
+				if g.ClassifyPoint(s.At(tt)) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TileAreas holds the area of the primary region falling into each tile of
+// the reference region, indexed by Tile.
+type TileAreas [NumTiles]float64
+
+// Total returns the summed area over all tiles — the area of the primary
+// region.
+func (a TileAreas) Total() float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Relation derives the qualitative relation: the set of tiles holding more
+// than the fraction eps of the total area. Pass eps = 0 for "any positive
+// area"; small positive eps absorbs floating-point residue.
+func (a TileAreas) Relation(eps float64) Relation {
+	total := a.Total()
+	if total <= 0 {
+		return 0
+	}
+	var r Relation
+	for t, v := range a {
+		if v > eps*total {
+			r = r.With(Tile(t))
+		}
+	}
+	return r
+}
+
+// Percent converts the areas into the paper's cardinal direction matrix with
+// percentages.
+func (a TileAreas) Percent() PercentMatrix {
+	var m PercentMatrix
+	total := a.Total()
+	if total <= 0 {
+		return m
+	}
+	for t, v := range a {
+		m.Set(Tile(t), 100*v/total)
+	}
+	return m
+}
+
+// PercentMatrix is a cardinal direction relation matrix with percentages
+// (Goyal & Egenhofer, adopted in §2 of the paper): cell (row, col) holds the
+// percentage of the primary region's area lying in the corresponding tile.
+// Row 0 is the north row, matching the paper's printed layout.
+type PercentMatrix [3][3]float64
+
+// Get returns the percentage for tile t.
+func (m PercentMatrix) Get(t Tile) float64 { return m[2-t.Row()][t.Col()] }
+
+// Set stores the percentage for tile t.
+func (m *PercentMatrix) Set(t Tile, pct float64) { m[2-t.Row()][t.Col()] = pct }
+
+// Sum returns the sum of all cells; a well-formed matrix sums to 100 (or 0
+// for the zero matrix).
+func (m PercentMatrix) Sum() float64 {
+	var s float64
+	for i := range m {
+		for j := range m[i] {
+			s += m[i][j]
+		}
+	}
+	return s
+}
+
+// Relation derives the qualitative relation from the matrix: tiles whose
+// percentage exceeds eps (in percentage points).
+func (m PercentMatrix) Relation(eps float64) Relation {
+	var r Relation
+	for _, t := range Tiles() {
+		if m.Get(t) > eps {
+			r = r.With(t)
+		}
+	}
+	return r
+}
+
+// ApproxEqual reports whether every cell of m and u differ by at most tol
+// percentage points.
+func (m PercentMatrix) ApproxEqual(u PercentMatrix, tol float64) bool {
+	for i := range m {
+		for j := range m[i] {
+			if math.Abs(m[i][j]-u[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix in the paper's bracketed style with one decimal,
+// e.g.
+//
+//	[  0.0%  0.0% 50.0% ]
+//	[  0.0%  0.0% 50.0% ]
+//	[  0.0%  0.0%  0.0% ]
+func (m PercentMatrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < 3; i++ {
+		sb.WriteString("[ ")
+		for j := 0; j < 3; j++ {
+			fmt.Fprintf(&sb, "%5.1f%%", m[i][j])
+			if j < 2 {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(" ]")
+		if i < 2 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"cardirect/internal/geom"
+)
+
+// El is the paper's trapezoid expression E_l(AB): the signed area between
+// the edge AB and the horizontal reference line y = l (Definition 4). Its
+// absolute value is the area of the trapezoid (A B L_B L_A); the sign flips
+// with the edge direction, and summing E_l along a closed clockwise (y-up)
+// ring yields the ring's (positive) area regardless of l.
+func El(a, b geom.Point, l float64) float64 {
+	return (b.X - a.X) * (a.Y + b.Y - 2*l) / 2
+}
+
+// Em is the paper's expression E'_m(AB): the signed area between AB and the
+// vertical reference line x = m. Summing E'_m along a closed clockwise
+// (y-up) ring yields the negated ring area. (The paper's Definition 4 has a
+// typo — "2l" in the E'_m formula stands for 2m.)
+func Em(a, b geom.Point, m float64) float64 {
+	return (b.Y - a.Y) * (a.X + b.X - 2*m) / 2
+}
+
+// ComputeCDRPct implements Algorithm Compute-CDR% (Fig. 10 of the paper):
+// it returns the cardinal direction relation with percentages between the
+// primary region a and the reference region b as a PercentMatrix, together
+// with the per-tile absolute areas it is derived from.
+//
+// Like Compute-CDR the algorithm makes a single pass over the edges of a,
+// splitting each on the four mbb(b) lines. Instead of clipping polygons it
+// accumulates, per tile, the trapezoid expressions against a tile-specific
+// reference line chosen so that the virtual segments closing each tile piece
+// contribute nothing: the west line x = m1 for the NW/W/SW column, the east
+// line x = m2 for the NE/E/SE column, the south line y = l1 for S and the
+// north line y = l2 for N. The B tile is recovered by measuring the B∪N slab
+// against y = l1 and subtracting the N area:
+//
+//	area(B) = |area(B+N)| − |area(N)|.
+//
+// The running time is O(k_a + k_b) (Theorem 2 of the paper).
+func ComputeCDRPct(a, b geom.Region) (PercentMatrix, TileAreas, error) {
+	m, ta, _, err := computeCDRPct(a, b)
+	return m, ta, err
+}
+
+// ComputeCDRPctStats is ComputeCDRPct with instrumentation.
+func ComputeCDRPctStats(a, b geom.Region) (PercentMatrix, TileAreas, Stats, error) {
+	return computeCDRPct(a, b)
+}
+
+func computeCDRPct(a, b geom.Region) (PercentMatrix, TileAreas, Stats, error) {
+	var st Stats
+	var areas TileAreas
+	if len(a) == 0 {
+		return PercentMatrix{}, areas, st, fmt.Errorf("core: primary region is empty")
+	}
+	if len(b) == 0 {
+		return PercentMatrix{}, areas, st, fmt.Errorf("core: reference region is empty")
+	}
+	grid, err := NewGrid(b.BoundingBox())
+	if err != nil {
+		return PercentMatrix{}, areas, st, err
+	}
+
+	var acc [NumTiles]float64 // signed accumulators, one per tile
+	var accBN float64         // B∪N slab measured against y = l1
+
+	buf := make([]geom.Segment, 0, 8)
+	for _, p := range a {
+		p = p.Clockwise()
+		for i := 0; i < p.NumEdges(); i++ {
+			st.EdgesIn++
+			st.EdgeVisits++
+			buf = grid.SplitEdge(p.Edge(i), buf[:0])
+			st.Intersections += len(buf) - 1
+			for _, s := range buf {
+				st.EdgesOut++
+				t := grid.ClassifySegment(s)
+				switch t {
+				case TileNW, TileW, TileSW:
+					acc[t] += Em(s.A, s.B, grid.M1)
+				case TileNE, TileE, TileSE:
+					acc[t] += Em(s.A, s.B, grid.M2)
+				case TileS:
+					acc[t] += El(s.A, s.B, grid.L1)
+				case TileN:
+					acc[t] += El(s.A, s.B, grid.L2)
+				}
+				if t == TileN || t == TileB {
+					accBN += El(s.A, s.B, grid.L1)
+				}
+			}
+		}
+	}
+	st.Passes = 1
+
+	for _, t := range Tiles() {
+		if t == TileB {
+			continue
+		}
+		areas[t] = abs(acc[t])
+	}
+	// area(B) = |area(B+N)| − |area(N)|; clamp tiny negative float residue.
+	if bArea := abs(accBN) - areas[TileN]; bArea > 0 {
+		areas[TileB] = bArea
+	}
+
+	total := areas.Total()
+	if total <= 0 {
+		return PercentMatrix{}, areas, st, fmt.Errorf("core: primary region has zero area")
+	}
+	return areas.Percent(), areas, st, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"cardirect/internal/geom"
+)
+
+// Accumulator computes the cardinal direction relation — and the per-tile
+// areas behind the percentage matrix — incrementally from a stream of
+// primary-region edges against a fixed reference box, without ever
+// materialising the primary region. It exists for the GIS-scale inputs §3
+// of the paper anticipates: polygons read edge-by-edge from disk or a
+// network feed in a single pass, matching the algorithms' one-scan design.
+//
+// Usage:
+//
+//	ac, _ := core.NewAccumulator(refBox)
+//	for each polygon {
+//		ac.BeginPolygon()
+//		for each clockwise edge (a, b) { ac.AddEdge(a, b) }
+//		if err := ac.EndPolygon(); err != nil { … }
+//	}
+//	rel, _ := ac.Relation()
+//	matrix, _ := ac.Percent()
+//
+// Edges of each ring must arrive in the paper's clockwise (y-up) order;
+// EndPolygon reports an error for counter-clockwise rings (orientation
+// cannot be fixed retroactively in one pass because the interior-side
+// tie-breaking of on-line segments consumes it immediately).
+type Accumulator struct {
+	grid   Grid
+	center geom.Point
+	rel    Relation
+	acc    [NumTiles]float64
+	accBN  float64
+	stats  Stats
+	buf    []geom.Segment
+
+	inPolygon   bool
+	ringArea    float64 // signed area of the current ring (E_0 sum)
+	rayCrossing int     // parity of ring edges crossing the center's +x ray
+	firstEdge   geom.Segment
+	lastPoint   geom.Point
+	edgeCount   int
+}
+
+// NewAccumulator prepares an accumulator for the given reference bounding
+// box (obtain it with Region.BoundingBox or track it while streaming the
+// reference region's own edges).
+func NewAccumulator(refBox geom.Rect) (*Accumulator, error) {
+	grid, err := NewGrid(refBox)
+	if err != nil {
+		return nil, err
+	}
+	return &Accumulator{
+		grid:   grid,
+		center: grid.Box().Center(),
+		buf:    make([]geom.Segment, 0, 8),
+	}, nil
+}
+
+// BeginPolygon starts a new ring. Rings may not nest.
+func (ac *Accumulator) BeginPolygon() {
+	ac.inPolygon = true
+	ac.ringArea = 0
+	ac.rayCrossing = 0
+	ac.edgeCount = 0
+}
+
+// AddEdge feeds the next directed edge of the current ring. Consecutive
+// edges must be contiguous (the end of one is the start of the next); the
+// final edge must return to the ring's first vertex.
+func (ac *Accumulator) AddEdge(a, b geom.Point) error {
+	if !ac.inPolygon {
+		return fmt.Errorf("core: AddEdge outside BeginPolygon/EndPolygon")
+	}
+	if a.Eq(b) {
+		return fmt.Errorf("core: degenerate edge at %v", a)
+	}
+	if ac.edgeCount == 0 {
+		ac.firstEdge = geom.Segment{A: a, B: b}
+	} else if !ac.lastPoint.Eq(a) {
+		return fmt.Errorf("core: discontiguous edge: previous ended at %v, next starts at %v", ac.lastPoint, a)
+	}
+	ac.lastPoint = b
+	ac.edgeCount++
+	ac.stats.EdgesIn++
+	ac.stats.EdgeVisits++
+
+	ac.ringArea += (b.X - a.X) * (a.Y + b.Y) / 2
+
+	// Ray-casting parity for the centre-of-mbb containment test: count
+	// edges crossing the horizontal ray from the centre toward +x.
+	if (a.Y > ac.center.Y) != (b.Y > ac.center.Y) {
+		xAt := a.X + (ac.center.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+		if xAt > ac.center.X {
+			ac.rayCrossing++
+		}
+	}
+
+	ac.buf = ac.grid.SplitEdge(geom.Segment{A: a, B: b}, ac.buf[:0])
+	ac.stats.Intersections += len(ac.buf) - 1
+	for _, s := range ac.buf {
+		ac.stats.EdgesOut++
+		t := ac.grid.ClassifySegment(s)
+		ac.rel = ac.rel.With(t)
+		switch t {
+		case TileNW, TileW, TileSW:
+			ac.acc[t] += Em(s.A, s.B, ac.grid.M1)
+		case TileNE, TileE, TileSE:
+			ac.acc[t] += Em(s.A, s.B, ac.grid.M2)
+		case TileS:
+			ac.acc[t] += El(s.A, s.B, ac.grid.L1)
+		case TileN:
+			ac.acc[t] += El(s.A, s.B, ac.grid.L2)
+		}
+		if t == TileN || t == TileB {
+			ac.accBN += El(s.A, s.B, ac.grid.L1)
+		}
+	}
+	return nil
+}
+
+// EndPolygon closes the current ring, folding its centre-containment result
+// into the relation. It validates ring closure and clockwise orientation.
+func (ac *Accumulator) EndPolygon() error {
+	if !ac.inPolygon {
+		return fmt.Errorf("core: EndPolygon without BeginPolygon")
+	}
+	ac.inPolygon = false
+	if ac.edgeCount < 3 {
+		return fmt.Errorf("core: ring has %d edges, need at least 3", ac.edgeCount)
+	}
+	if !ac.lastPoint.Eq(ac.firstEdge.A) {
+		return fmt.Errorf("core: ring not closed: ends at %v, started at %v", ac.lastPoint, ac.firstEdge.A)
+	}
+	if ac.ringArea < 0 {
+		return fmt.Errorf("core: ring is counter-clockwise; the stream API requires the paper's clockwise edge order")
+	}
+	ac.stats.PointInPoly++
+	if ac.rayCrossing%2 == 1 {
+		ac.rel = ac.rel.With(TileB)
+	}
+	ac.stats.Passes = 1
+	return nil
+}
+
+// Relation returns the qualitative relation accumulated so far. It errors
+// when no tile has been seen (no edges fed) or a ring is still open.
+func (ac *Accumulator) Relation() (Relation, error) {
+	if ac.inPolygon {
+		return 0, fmt.Errorf("core: ring still open; call EndPolygon first")
+	}
+	if !ac.rel.IsValid() {
+		return 0, fmt.Errorf("core: no edges accumulated")
+	}
+	return ac.rel, nil
+}
+
+// Areas returns the per-tile areas accumulated so far.
+func (ac *Accumulator) Areas() (TileAreas, error) {
+	if ac.inPolygon {
+		return TileAreas{}, fmt.Errorf("core: ring still open; call EndPolygon first")
+	}
+	var areas TileAreas
+	for _, t := range Tiles() {
+		if t == TileB {
+			continue
+		}
+		areas[t] = abs(ac.acc[t])
+	}
+	if bArea := abs(ac.accBN) - areas[TileN]; bArea > 0 {
+		areas[TileB] = bArea
+	}
+	return areas, nil
+}
+
+// Percent returns the percentage matrix accumulated so far.
+func (ac *Accumulator) Percent() (PercentMatrix, error) {
+	areas, err := ac.Areas()
+	if err != nil {
+		return PercentMatrix{}, err
+	}
+	if areas.Total() <= 0 {
+		return PercentMatrix{}, fmt.Errorf("core: accumulated region has zero area")
+	}
+	return areas.Percent(), nil
+}
+
+// Stats returns the instrumentation counters accumulated so far.
+func (ac *Accumulator) Stats() Stats { return ac.stats }
+
+// AddRegion feeds a whole region through the streaming interface —
+// convenience for mixing materialised and streamed inputs.
+func (ac *Accumulator) AddRegion(r geom.Region) error {
+	for _, p := range r {
+		p = p.Clockwise()
+		ac.BeginPolygon()
+		for i := 0; i < p.NumEdges(); i++ {
+			e := p.Edge(i)
+			if err := ac.AddEdge(e.A, e.B); err != nil {
+				return err
+			}
+		}
+		if err := ac.EndPolygon(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardirect/internal/geom"
+)
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	b := refB()
+	fixtures := []geom.Region{
+		box(2, 2, 8, 4),
+		box(-3, 1, 0, 5),
+		example3Quadrangle(),
+		append(box(-5, -5, -2, -2), box(12, 8, 15, 11)...),
+		box(-10, -10, 20, 16), // contains mbb(b): exercises the ray parity test
+	}
+	for i, a := range fixtures {
+		ac, err := NewAccumulator(b.BoundingBox())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ac.AddRegion(a); err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		gotRel, err := ac.Relation()
+		if err != nil {
+			t.Fatalf("fixture %d: %v", i, err)
+		}
+		wantRel, err := ComputeCDR(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRel != wantRel {
+			t.Errorf("fixture %d: stream %v != batch %v", i, gotRel, wantRel)
+		}
+		gotAreas, err := ac.Areas()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wantAreas, err := ComputeCDRPct(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tile := range Tiles() {
+			if math.Abs(gotAreas[tile]-wantAreas[tile]) > 1e-9 {
+				t.Errorf("fixture %d tile %v: stream %v != batch %v", i, tile, gotAreas[tile], wantAreas[tile])
+			}
+		}
+		m, err := ac.Percent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Sum()-100) > 1e-9 {
+			t.Errorf("fixture %d: matrix sum %v", i, m.Sum())
+		}
+	}
+}
+
+func TestAccumulatorRandomisedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := refB()
+	for trial := 0; trial < 100; trial++ {
+		var a geom.Region
+		for k := 0; k <= rng.Intn(3); k++ {
+			n := 3 + rng.Intn(9)
+			p := make(geom.Polygon, n)
+			cx := -8 + rng.Float64()*26
+			cy := -6 + rng.Float64()*18
+			for i := 0; i < n; i++ {
+				th := 2 * math.Pi * (float64(i) + 0.1 + 0.8*rng.Float64()) / float64(n)
+				r := 0.5 + rng.Float64()*3
+				p[i] = geom.Pt(cx+r*math.Cos(th), cy+r*math.Sin(th))
+			}
+			a = append(a, p.Clockwise())
+		}
+		ac, err := NewAccumulator(b.BoundingBox())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ac.AddRegion(a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gotRel, err := ac.Relation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRel, _ := ComputeCDR(a, b)
+		if gotRel != wantRel {
+			t.Fatalf("trial %d: stream %v != batch %v", trial, gotRel, wantRel)
+		}
+	}
+}
+
+func TestAccumulatorProtocolErrors(t *testing.T) {
+	b := refB()
+	ac, err := NewAccumulator(b.BoundingBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AddEdge outside a ring.
+	if err := ac.AddEdge(geom.Pt(0, 0), geom.Pt(1, 0)); err == nil {
+		t.Error("AddEdge outside ring should fail")
+	}
+	// EndPolygon without Begin.
+	if err := ac.EndPolygon(); err == nil {
+		t.Error("EndPolygon without Begin should fail")
+	}
+	// Degenerate edge.
+	ac.BeginPolygon()
+	if err := ac.AddEdge(geom.Pt(1, 1), geom.Pt(1, 1)); err == nil {
+		t.Error("degenerate edge should fail")
+	}
+	// Discontiguous edges.
+	if err := ac.AddEdge(geom.Pt(0, 0), geom.Pt(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.AddEdge(geom.Pt(5, 5), geom.Pt(6, 6)); err == nil {
+		t.Error("discontiguous edge should fail")
+	}
+	// Unclosed ring.
+	ac2, _ := NewAccumulator(b.BoundingBox())
+	ac2.BeginPolygon()
+	ac2.AddEdge(geom.Pt(0, 1), geom.Pt(1, 1))
+	ac2.AddEdge(geom.Pt(1, 1), geom.Pt(1, 0))
+	ac2.AddEdge(geom.Pt(1, 0), geom.Pt(0, 0))
+	if err := ac2.EndPolygon(); err == nil {
+		t.Error("unclosed ring should fail")
+	}
+	// Too few edges.
+	ac3, _ := NewAccumulator(b.BoundingBox())
+	ac3.BeginPolygon()
+	ac3.AddEdge(geom.Pt(0, 0), geom.Pt(1, 1))
+	ac3.AddEdge(geom.Pt(1, 1), geom.Pt(0, 0))
+	if err := ac3.EndPolygon(); err == nil {
+		t.Error("2-edge ring should fail")
+	}
+	// Counter-clockwise ring.
+	ac4, _ := NewAccumulator(b.BoundingBox())
+	ac4.BeginPolygon()
+	ccw := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	for i := range ccw {
+		if err := ac4.AddEdge(ccw[i], ccw[(i+1)%4]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ac4.EndPolygon(); err == nil {
+		t.Error("counter-clockwise ring should fail")
+	}
+	// Relation/Areas with an open ring.
+	ac5, _ := NewAccumulator(b.BoundingBox())
+	ac5.BeginPolygon()
+	if _, err := ac5.Relation(); err == nil {
+		t.Error("Relation with open ring should fail")
+	}
+	if _, err := ac5.Areas(); err == nil {
+		t.Error("Areas with open ring should fail")
+	}
+	// Relation with no edges.
+	ac6, _ := NewAccumulator(b.BoundingBox())
+	if _, err := ac6.Relation(); err == nil {
+		t.Error("Relation with no edges should fail")
+	}
+	if _, err := ac6.Percent(); err == nil {
+		t.Error("Percent with no edges should fail")
+	}
+}
+
+func TestComputeAllPairs(t *testing.T) {
+	regions := []NamedRegion{
+		{Name: "b", Region: refB()},
+		{Name: "a", Region: box(2, -5, 8, -1)},
+		{Name: "c", Region: box(12, 2, 14, 10)},
+	}
+	got, err := ComputeAllPairs(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("pairs = %d, want 6", len(got))
+	}
+	// Sorted by (primary, reference).
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Primary > got[i].Primary ||
+			(got[i-1].Primary == got[i].Primary && got[i-1].Reference > got[i].Reference) {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+	// Every entry equals a direct computation.
+	byName := map[string]geom.Region{}
+	for _, r := range regions {
+		byName[r.Name] = r.Region
+	}
+	for _, pr := range got {
+		want, err := ComputeCDR(byName[pr.Primary], byName[pr.Reference])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Relation != want {
+			t.Errorf("%s vs %s: batch %v != direct %v", pr.Primary, pr.Reference, pr.Relation, want)
+		}
+	}
+	// a vs b must be S (Fig. 1b).
+	for _, pr := range got {
+		if pr.Primary == "a" && pr.Reference == "b" && pr.Relation != S {
+			t.Errorf("a vs b = %v, want S", pr.Relation)
+		}
+	}
+}
+
+func TestComputeAllPairsErrors(t *testing.T) {
+	if got, err := ComputeAllPairs(nil); err != nil || got != nil {
+		t.Error("empty input should be a no-op")
+	}
+	if _, err := ComputeAllPairs([]NamedRegion{
+		{Name: "", Region: refB()}, {Name: "x", Region: refB()},
+	}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := ComputeAllPairs([]NamedRegion{
+		{Name: "x", Region: refB()}, {Name: "x", Region: refB()},
+	}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if _, err := ComputeAllPairs([]NamedRegion{
+		{Name: "x", Region: refB()}, {Name: "y", Region: geom.Region{}},
+	}); err == nil {
+		t.Error("empty region should fail")
+	}
+}
+
+func TestFindRelated(t *testing.T) {
+	b := refB()
+	candidates := []NamedRegion{
+		{Name: "south", Region: box(2, -5, 8, -1)},
+		{Name: "east", Region: box(12, 2, 14, 5)},
+		{Name: "northish", Region: box(2, 7, 8, 9)},
+		{Name: "farnorthwest", Region: box(-9, 8, -6, 10)},
+	}
+	got, err := FindRelated(candidates, b, NewRelationSet(S, N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "northish" || got[1] != "south" {
+		t.Errorf("FindRelated = %v", got)
+	}
+	if _, err := FindRelated(candidates, b, RelationSet{}); err == nil {
+		t.Error("empty allowed set should fail")
+	}
+	line := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)))
+	if _, err := FindRelated(candidates, line, NewRelationSet(S)); err == nil {
+		t.Error("degenerate reference should fail")
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	ref := refB()
+	a := example3Quadrangle()
+	bb := ref.BoundingBox()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ac, err := NewAccumulator(bb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ac.AddRegion(a); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ac.Relation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

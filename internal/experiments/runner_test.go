@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quickOpts = Options{Quick: true, Seed: 1}
+
+func TestE1E2E3Report(t *testing.T) {
+	r, err := E1E2E3EdgeCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Fig3b", "Fig3c", "Example3", "16", "35", "B:W:NW:N:NE:E"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E1-E3 body missing %q", frag)
+		}
+	}
+}
+
+func TestE8Report(t *testing.T) {
+	r, err := E8ScanCounts(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "9216") || !strings.Contains(r.Body, "1024") {
+		t.Errorf("E8 body missing scan counts:\n%s", r.Body)
+	}
+}
+
+func TestE9Report(t *testing.T) {
+	r, err := E9Greece()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "B:S:SW:W") {
+		t.Errorf("E9 body missing the Fig. 12 relation:\n%s", r.Body)
+	}
+	if !strings.Contains(r.Body, "%") {
+		t.Error("E9 body missing the percentage matrix")
+	}
+}
+
+func TestE10Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E10Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "511 relations") || !strings.Contains(r.Body, "NW:NE") {
+		t.Errorf("E10 body:\n%s", r.Body)
+	}
+}
+
+func TestE12Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E12Consistency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Body, "WRONG") {
+		t.Errorf("E12 reports a wrong consistency outcome:\n%s", r.Body)
+	}
+	if strings.Count(r.Body, "ok") < 4 {
+		t.Errorf("E12 should confirm all four networks:\n%s", r.Body)
+	}
+}
+
+func TestE14Report(t *testing.T) {
+	r, err := E14Expressiveness(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "MBB approximation") || !strings.Contains(r.Body, "centroid cone") {
+		t.Errorf("E14 body:\n%s", r.Body)
+	}
+	// The MBB model must never contradict on this workload.
+	for _, line := range strings.Split(r.Body, "\n") {
+		if strings.HasPrefix(line, "MBB") && !strings.Contains(line, "0.0%") {
+			t.Errorf("MBB row should end with 0.0%% contradictions: %q", line)
+		}
+	}
+}
+
+func TestE15Report(t *testing.T) {
+	r, err := E15OpCounts(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Body, "intersections") && !strings.Contains(r.Body, "ratio") {
+		t.Errorf("E15 body:\n%s", r.Body)
+	}
+}
+
+func TestE17Report(t *testing.T) {
+	r, err := E17CombinedRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"peloponnesos", "EC", "DC", "RCC-8", "touch"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E17 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+}
+
+func TestEntriesAndIDs(t *testing.T) {
+	entries := Entries(quickOpts)
+	if len(entries) != 13 {
+		t.Fatalf("entries = %d, want 13 (E1-E3 … E17)", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.ID == "" || e.Run == nil {
+			t.Errorf("malformed entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	ids := IDs()
+	if len(ids) != len(entries) {
+		t.Errorf("IDs = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("IDs not sorted: %v", ids)
+		}
+	}
+}

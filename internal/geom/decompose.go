@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DecomposeWithHoles converts a polygon-with-holes (the representation GIS
+// interchange formats use: one outer ring, zero or more hole rings) into the
+// paper's REG* representation: a set of simple polygons with pairwise
+// disjoint interiors whose union is the outer polygon minus the holes —
+// exactly how Fig. 2 of the paper represents region b.
+//
+// The decomposition is by vertical slabs: the plane is cut at every vertex
+// x-coordinate; inside one slab no edge endpoints occur, so the region
+// restricted to the slab is a stack of disjoint trapezoids delimited by
+// consecutive edge crossings (even–odd rule). Trapezoids of adjacent slabs
+// share boundary segments only, which REG* explicitly permits.
+//
+// Requirements: the outer ring must be simple with positive area; holes
+// must be simple, lie strictly inside the outer ring (no boundary contact)
+// and be pairwise disjoint. Violations are detected and reported — the
+// sweep-based nesting check keeps malformed interchange data from producing
+// self-intersecting pieces.
+func DecomposeWithHoles(outer Polygon, holes []Polygon) (Region, error) {
+	if err := outer.Validate(); err != nil {
+		return nil, fmt.Errorf("geom: outer ring: %w", err)
+	}
+	for i, h := range holes {
+		if err := h.Validate(); err != nil {
+			return nil, fmt.Errorf("geom: hole %d: %w", i, err)
+		}
+		if !outer.BoundingBox().ContainsRect(h.BoundingBox()) {
+			return nil, fmt.Errorf("geom: hole %d escapes the outer ring's bounding box", i)
+		}
+	}
+	if len(holes) == 0 {
+		return Region{outer.Clockwise()}, nil
+	}
+	// Nesting validation: ring boundaries may not touch at all (a hole
+	// tangent to the outer ring or to another hole is rejected — the
+	// trapezoid pairing below needs a consistent vertical order of
+	// crossings within each slab, which boundary contact would break),
+	// every hole must lie strictly inside the outer ring, and holes must
+	// be pairwise disjoint.
+	if err := checkNesting(outer, holes); err != nil {
+		return nil, err
+	}
+
+	// All rings contribute edges; the even–odd rule below handles the
+	// inside/outside bookkeeping regardless of ring orientation.
+	rings := make([]Polygon, 0, 1+len(holes))
+	rings = append(rings, outer)
+	rings = append(rings, holes...)
+
+	// Slab boundaries: every distinct vertex x.
+	xsSet := map[float64]struct{}{}
+	for _, r := range rings {
+		for _, v := range r {
+			xsSet[v.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var out Region
+	for si := 0; si+1 < len(xs); si++ {
+		x1, x2 := xs[si], xs[si+1]
+		if x2 <= x1 {
+			continue
+		}
+		// Collect the y-coordinates at x1, x2 of every edge spanning the
+		// slab, ordered by y at the slab midline.
+		type crossing struct {
+			y1, y2, ym float64
+		}
+		var cs []crossing
+		for _, r := range rings {
+			for i := 0; i < r.NumEdges(); i++ {
+				e := r.Edge(i)
+				lo, hi := minmax(e.A.X, e.B.X)
+				if lo > x1 || hi < x2 {
+					continue // edge does not span the whole slab
+				}
+				if e.A.X == e.B.X {
+					continue // vertical edge on a slab boundary
+				}
+				t1 := (x1 - e.A.X) / (e.B.X - e.A.X)
+				t2 := (x2 - e.A.X) / (e.B.X - e.A.X)
+				y1 := e.A.Y + t1*(e.B.Y-e.A.Y)
+				y2 := e.A.Y + t2*(e.B.Y-e.A.Y)
+				cs = append(cs, crossing{y1: y1, y2: y2, ym: (y1 + y2) / 2})
+			}
+		}
+		if len(cs)%2 != 0 {
+			return nil, fmt.Errorf("geom: odd crossing count in slab [%g,%g] — rings are not well-nested", x1, x2)
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a].ym < cs[b].ym })
+		// Even–odd pairing: material between crossings 0–1, 2–3, …
+		for k := 0; k+1 < len(cs); k += 2 {
+			lo, hi := cs[k], cs[k+1]
+			// Clockwise trapezoid (y-up): top-left, top-right, bottom-right,
+			// bottom-left; degenerate sides (triangles) collapse naturally.
+			quad := Polygon{
+				Pt(x1, hi.y1), Pt(x2, hi.y2), Pt(x2, lo.y2), Pt(x1, lo.y1),
+			}
+			quad = dedupeVertices(quad)
+			if len(quad) >= 3 && quad.Area() > 0 {
+				out = append(out, quad.Clockwise())
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("geom: decomposition produced no material (holes cover the outer ring?)")
+	}
+	return out, nil
+}
+
+// checkNesting verifies that ring boundaries are pairwise non-touching,
+// every hole lies strictly inside the outer ring, and holes are pairwise
+// disjoint.
+func checkNesting(outer Polygon, holes []Polygon) error {
+	var segs []Segment
+	var tags []ringEdge
+	addRing(&segs, &tags, outer, 0)
+	for i, h := range holes {
+		addRing(&segs, &tags, h, i+1)
+	}
+	ringSize := func(r int) int {
+		if r == 0 {
+			return len(outer)
+		}
+		return len(holes[r-1])
+	}
+	adjacent := func(i, j int) bool {
+		a, b := tags[i], tags[j]
+		if a.ring != b.ring {
+			return false
+		}
+		n := ringSize(a.ring)
+		d := a.idx - b.idx
+		if d < 0 {
+			d = -d
+		}
+		return d == 1 || d == n-1
+	}
+	if HasProperIntersection(segs, adjacent) {
+		return fmt.Errorf("geom: ring boundaries touch or cross — holes must be strictly interior and pairwise disjoint")
+	}
+	for i, h := range holes {
+		v := h[0]
+		if !outer.Contains(v) || onBoundary(outer, v) {
+			return fmt.Errorf("geom: hole %d is not strictly inside the outer ring", i)
+		}
+		for j, other := range holes {
+			if i == j {
+				continue
+			}
+			if other.Contains(v) && !onBoundary(other, v) {
+				return fmt.Errorf("geom: holes %d and %d are nested", j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ringEdge tags a segment with its source ring (0 = outer, 1… = holes) and
+// edge index, for adjacency exemptions during nesting validation.
+type ringEdge struct {
+	ring int
+	idx  int
+}
+
+func addRing(segs *[]Segment, tags *[]ringEdge, p Polygon, ring int) {
+	for i := 0; i < p.NumEdges(); i++ {
+		*segs = append(*segs, p.Edge(i))
+		*tags = append(*tags, ringEdge{ring, i})
+	}
+}
+
+// dedupeVertices removes consecutive duplicate vertices including the
+// wrap-around pair.
+func dedupeVertices(p Polygon) Polygon {
+	out := p[:0]
+	for _, v := range p {
+		if len(out) == 0 || !out[len(out)-1].Eq(v) {
+			out = append(out, v)
+		}
+	}
+	for len(out) > 1 && out[0].Eq(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}

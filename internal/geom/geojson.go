@@ -1,0 +1,108 @@
+package geom
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// geoJSONGeometry is the wire form of a GeoJSON geometry object (RFC 7946)
+// restricted to the polygonal types region data arrives in.
+type geoJSONGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+// ParseGeoJSON parses a GeoJSON geometry object of type "Polygon" or
+// "MultiPolygon" into a REG* region. Per RFC 7946 each polygon is a list of
+// linear rings — the first exterior, the rest holes — with the first
+// position repeated at the end; holes are decomposed away with
+// DecomposeWithHoles so the result is the paper's hole-free representation.
+func ParseGeoJSON(data []byte) (Region, error) {
+	var g geoJSONGeometry
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("geom: decoding GeoJSON: %w", err)
+	}
+	switch g.Type {
+	case "Polygon":
+		var rings [][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+			return nil, fmt.Errorf("geom: Polygon coordinates: %w", err)
+		}
+		return geoJSONPolygon(rings)
+	case "MultiPolygon":
+		var polys [][][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &polys); err != nil {
+			return nil, fmt.Errorf("geom: MultiPolygon coordinates: %w", err)
+		}
+		var out Region
+		for i, rings := range polys {
+			r, err := geoJSONPolygon(rings)
+			if err != nil {
+				return nil, fmt.Errorf("geom: MultiPolygon member %d: %w", i, err)
+			}
+			out = append(out, r...)
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("geom: empty MultiPolygon")
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("geom: unsupported GeoJSON type %q (Polygon and MultiPolygon are supported)", g.Type)
+	}
+}
+
+// geoJSONPolygon converts one GeoJSON polygon (outer ring + holes) into
+// REG* polygons.
+func geoJSONPolygon(rings [][][2]float64) (Region, error) {
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("geom: polygon has no rings")
+	}
+	convert := func(ring [][2]float64) (Polygon, error) {
+		p := make(Polygon, 0, len(ring))
+		for _, c := range ring {
+			p = append(p, Pt(c[0], c[1]))
+		}
+		// Drop the mandated closing duplicate.
+		if len(p) > 1 && p[0].Eq(p[len(p)-1]) {
+			p = p[:len(p)-1]
+		}
+		if len(p) < 3 {
+			return nil, fmt.Errorf("geom: ring has %d distinct positions, need at least 3", len(p))
+		}
+		return p, nil
+	}
+	outer, err := convert(rings[0])
+	if err != nil {
+		return nil, err
+	}
+	holes := make([]Polygon, 0, len(rings)-1)
+	for i, ring := range rings[1:] {
+		h, err := convert(ring)
+		if err != nil {
+			return nil, fmt.Errorf("geom: hole %d: %w", i, err)
+		}
+		holes = append(holes, h)
+	}
+	return DecomposeWithHoles(outer, holes)
+}
+
+// FormatGeoJSON renders a region as a GeoJSON MultiPolygon of its
+// (hole-free) simple polygons. RFC 7946 asks for counter-clockwise exterior
+// rings, so the canonical clockwise rings are reversed on output;
+// ParseGeoJSON(FormatGeoJSON(r)) reproduces the region.
+func FormatGeoJSON(r Region) ([]byte, error) {
+	polys := make([][][][2]float64, 0, len(r))
+	for _, p := range r {
+		ring := make([][2]float64, 0, len(p)+1)
+		for i := len(p) - 1; i >= 0; i-- { // reverse: clockwise → CCW
+			ring = append(ring, [2]float64{p[i].X, p[i].Y})
+		}
+		ring = append(ring, ring[0]) // close per RFC 7946
+		polys = append(polys, [][][2]float64{ring})
+	}
+	coords, err := json.Marshal(polys)
+	if err != nil {
+		return nil, fmt.Errorf("geom: encoding coordinates: %w", err)
+	}
+	return json.Marshal(geoJSONGeometry{Type: "MultiPolygon", Coordinates: coords})
+}

@@ -1,0 +1,119 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseGeoJSONPolygon(t *testing.T) {
+	data := []byte(`{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]]]}`)
+	r, err := ParseGeoJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r.Area() != 16 {
+		t.Errorf("pieces=%d area=%v", len(r), r.Area())
+	}
+}
+
+func TestParseGeoJSONPolygonWithHole(t *testing.T) {
+	data := []byte(`{"type":"Polygon","coordinates":[
+		[[0,0],[4,0],[4,4],[0,4],[0,0]],
+		[[1,1],[3,1],[3,3],[1,3],[1,1]]
+	]}`)
+	r, err := ParseGeoJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Area()-12) > 1e-9 {
+		t.Errorf("area = %v, want 12", r.Area())
+	}
+	if r.Contains(Pt(2, 2)) {
+		t.Error("hole centre contained")
+	}
+}
+
+func TestParseGeoJSONMultiPolygon(t *testing.T) {
+	data := []byte(`{"type":"MultiPolygon","coordinates":[
+		[[[0,0],[1,0],[1,1],[0,1],[0,0]]],
+		[[[5,5],[7,5],[7,7],[5,7],[5,5]]]
+	]}`)
+	r, err := ParseGeoJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || math.Abs(r.Area()-5) > 1e-9 {
+		t.Errorf("pieces=%d area=%v", len(r), r.Area())
+	}
+}
+
+func TestParseGeoJSONErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"type":"Point","coordinates":[0,0]}`,
+		`{"type":"Polygon","coordinates":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}`,
+		`{"type":"Polygon","coordinates":"nope"}`,
+		`{"type":"MultiPolygon","coordinates":[]}`,
+		`{"type":"MultiPolygon","coordinates":[[[[0,0],[2,2],[2,0],[0,2],[0,0]]]]}`, // bowtie
+	}
+	for _, s := range bad {
+		if _, err := ParseGeoJSON([]byte(s)); err == nil {
+			t.Errorf("ParseGeoJSON(%q) should fail", s)
+		}
+	}
+}
+
+func TestGeoJSONRoundtrip(t *testing.T) {
+	orig := Rgn(
+		Poly(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0)),
+		Poly(Pt(6, 1), Pt(7, 2), Pt(8, 0)),
+	)
+	data, err := FormatGeoJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGeoJSON(data)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, data)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("pieces = %d, want %d", len(back), len(orig))
+	}
+	if math.Abs(back.Area()-orig.Area()) > 1e-9 {
+		t.Errorf("area %v != %v", back.Area(), orig.Area())
+	}
+	// Output rings are CCW per RFC 7946 (they come back normalised).
+	for i, p := range back {
+		if !p.IsClockwise() {
+			t.Errorf("piece %d not re-normalised clockwise", i)
+		}
+	}
+}
+
+func TestGeoJSONWKTAgree(t *testing.T) {
+	// The same polygon-with-hole via both interchange formats yields the
+	// same region.
+	gj, err := ParseGeoJSON([]byte(`{"type":"Polygon","coordinates":[
+		[[0,0],[8,0],[8,8],[0,8],[0,0]],
+		[[2,2],[6,2],[6,6],[2,6],[2,2]]
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wkt, err := ParseWKT("POLYGON ((0 0, 8 0, 8 8, 0 8), (2 2, 6 2, 6 6, 2 6))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gj.Area()-wkt.Area()) > 1e-9 {
+		t.Errorf("areas differ: %v vs %v", gj.Area(), wkt.Area())
+	}
+	for _, p := range []Point{Pt(1, 1), Pt(4, 1), Pt(7, 7)} {
+		if gj.Contains(p) != wkt.Contains(p) {
+			t.Errorf("containment differs at %v", p)
+		}
+	}
+	if gj.Contains(Pt(4, 4)) || wkt.Contains(Pt(4, 4)) {
+		t.Error("hole centre contained")
+	}
+}

@@ -1,0 +1,80 @@
+// Package geom provides the planar geometry substrate used by the cardinal
+// direction algorithms of Skiadopoulos et al. (EDBT 2004): points, segments,
+// simple polygons and composite regions (the class REG* of the paper —
+// possibly disconnected regions, possibly with holes), together with the
+// primitive operations the algorithms rely on (minimum bounding boxes,
+// signed areas, orientation normalisation, point location and segment
+// intersection).
+//
+// # Conventions
+//
+// Coordinates are float64 in a y-up Cartesian plane. Polygons are stored as
+// vertex rings without repeating the first vertex; the canonical orientation
+// is clockwise in the y-up plane (the paper takes polygon edges "in a
+// clockwise order"), which places the polygon interior on the right-hand
+// side of every directed edge. Helpers are provided to detect and normalise
+// orientation.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the Euclidean plane R^2.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p−q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by the factor s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q viewed as vectors.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q viewed as vectors.
+// It is positive when q lies counter-clockwise of p.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Eq reports whether p and q are the same point (exact comparison).
+func (p Point) Eq(q Point) bool { return p.X == q.X && p.Y == q.Y }
+
+// Mid returns the midpoint of p and q. The cardinal direction algorithm of
+// the paper classifies each split edge by the tile containing its midpoint.
+func (p Point) Mid(q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// IsFinite reports whether both coordinates are finite (not NaN or ±Inf).
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// String renders the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Orient returns the orientation of the ordered triple (a, b, c):
+// +1 when c lies to the left of the directed line a→b (counter-clockwise
+// turn), −1 when it lies to the right (clockwise turn) and 0 when the three
+// points are collinear.
+func Orient(a, b, c Point) int {
+	d := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case d > 0:
+		return +1
+	case d < 0:
+		return -1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); !got.Eq(Pt(4, -2)) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); !got.Eq(Pt(-2, 6)) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(2, 4)) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 1*(-4)-2*3 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Dist(Pt(4, 6)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.Mid(q); !got.Eq(Pt(2, -1)) {
+		t.Errorf("Mid = %v", got)
+	}
+}
+
+func TestPointIsFinite(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(math.NaN(), 0), false},
+		{Pt(0, math.NaN()), false},
+		{Pt(math.Inf(1), 0), false},
+		{Pt(0, math.Inf(-1)), false},
+		{Pt(-1e300, 1e300), true},
+	}
+	for _, c := range cases {
+		if got := c.p.IsFinite(); got != c.want {
+			t.Errorf("IsFinite(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := Pt(1.5, -2).String(); got != "(1.5, -2)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestOrient(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	if got := Orient(a, b, Pt(0, 1)); got != +1 {
+		t.Errorf("left turn: got %d", got)
+	}
+	if got := Orient(a, b, Pt(0, -1)); got != -1 {
+		t.Errorf("right turn: got %d", got)
+	}
+	if got := Orient(a, b, Pt(2, 0)); got != 0 {
+		t.Errorf("collinear: got %d", got)
+	}
+}
+
+func TestOrientAntisymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		// Swapping two arguments flips (or preserves zero) orientation.
+		return Orient(a, b, c) == -Orient(b, a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidpointCommutesProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Mid(b).Eq(b.Mid(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle, used for minimum bounding boxes
+// (mbb in the paper). MinX ≤ MaxX and MinY ≤ MaxY hold for every Rect
+// produced by this package; a Rect may be degenerate (zero width or height)
+// only when built from degenerate input.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns the identity element for Union: a rectangle that
+// contains nothing and leaves any rectangle unchanged when united with it.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether r is the empty rectangle.
+func (r Rect) IsEmpty() bool { return r.MinX > r.MaxX || r.MinY > r.MaxY }
+
+// Width returns MaxX − MinX.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns MaxY − MinY.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area; the empty rectangle has area 0.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Width() * r.Height()
+}
+
+// Center returns the rectangle's center point. The Compute-CDR algorithm
+// tests whether the center of mbb(b) lies inside a polygon of the primary
+// region to detect polygons that enclose the whole bounding box.
+func (r Rect) Center() Point { return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2} }
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely within the closed rectangle r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return r.MinX <= s.MinX && s.MaxX <= r.MaxX && r.MinY <= s.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether the closed rectangles r and s share a point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: min2(r.MinX, s.MinX), MinY: min2(r.MinY, s.MinY),
+		MaxX: max2(r.MaxX, s.MaxX), MaxY: max2(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendPoint returns the smallest rectangle containing r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	if r.IsEmpty() {
+		return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	}
+	return Rect{
+		MinX: min2(r.MinX, p.X), MinY: min2(r.MinY, p.Y),
+		MaxX: max2(r.MaxX, p.X), MaxY: max2(r.MaxY, p.Y),
+	}
+}
+
+// Vertices returns the rectangle's corners in clockwise order (y-up),
+// starting at the top-left corner — matching the package's canonical
+// polygon orientation.
+func (r Rect) Vertices() []Point {
+	return []Point{
+		{r.MinX, r.MaxY}, {r.MaxX, r.MaxY}, {r.MaxX, r.MinY}, {r.MinX, r.MinY},
+	}
+}
+
+// String renders the rectangle as "[minx,maxx]×[miny,maxy]".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g]×[%g,%g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}

@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Error("EmptyRect not empty")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty area = %v", e.Area())
+	}
+	r := Rect{0, 0, 2, 3}
+	if got := e.Union(r); got != r {
+		t.Errorf("empty ∪ r = %v", got)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r ∪ empty = %v", got)
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Error("empty rect intersects something")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{1, 2, 5, 10}
+	if r.Width() != 4 || r.Height() != 8 {
+		t.Errorf("W/H = %v/%v", r.Width(), r.Height())
+	}
+	if r.Area() != 32 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if got := r.Center(); !got.Eq(Pt(3, 6)) {
+		t.Errorf("Center = %v", got)
+	}
+	if !r.Contains(Pt(1, 2)) || !r.Contains(Pt(5, 10)) || !r.Contains(Pt(3, 6)) {
+		t.Error("Contains misses closed-boundary points")
+	}
+	if r.Contains(Pt(0.999, 5)) || r.Contains(Pt(5.001, 5)) {
+		t.Error("Contains accepts outside points")
+	}
+}
+
+func TestRectSetOps(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	b := Rect{2, 2, 6, 6}
+	c := Rect{5, 5, 7, 7}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("overlapping rects should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("disjoint rects should not intersect")
+	}
+	// Touching at a corner counts (closed rectangles).
+	d := Rect{4, 4, 8, 8}
+	if !a.Intersects(d) {
+		t.Error("corner-touching closed rects should intersect")
+	}
+	if got := a.Union(b); got != (Rect{0, 0, 6, 6}) {
+		t.Errorf("Union = %v", got)
+	}
+	if !a.Union(b).ContainsRect(a) || !a.Union(b).ContainsRect(b) {
+		t.Error("Union does not contain operands")
+	}
+	if !a.ContainsRect(Rect{1, 1, 2, 2}) {
+		t.Error("ContainsRect false negative")
+	}
+	if a.ContainsRect(b) {
+		t.Error("ContainsRect false positive")
+	}
+}
+
+func TestRectExtendPoint(t *testing.T) {
+	r := EmptyRect().ExtendPoint(Pt(1, 2))
+	if r != (Rect{1, 2, 1, 2}) {
+		t.Errorf("ExtendPoint from empty = %v", r)
+	}
+	r = r.ExtendPoint(Pt(-3, 5))
+	if r != (Rect{-3, 2, 1, 5}) {
+		t.Errorf("ExtendPoint = %v", r)
+	}
+}
+
+func TestRectVerticesClockwise(t *testing.T) {
+	r := Rect{0, 0, 2, 1}
+	p := Polygon(r.Vertices())
+	if len(p) != 4 {
+		t.Fatalf("vertices = %d", len(p))
+	}
+	if !p.IsClockwise() {
+		t.Error("Rect.Vertices not clockwise")
+	}
+	if p.Area() != r.Area() {
+		t.Errorf("vertex polygon area %v != rect area %v", p.Area(), r.Area())
+	}
+}
+
+// Property: Union is commutative, associative and idempotent on random
+// rectangles.
+func TestRectUnionAlgebraProperty(t *testing.T) {
+	mk := func(a, b, c, d int8) Rect {
+		x1, x2 := minmax(float64(a), float64(b))
+		y1, y2 := minmax(float64(c), float64(d))
+		return Rect{x1, y1, x2, y2}
+	}
+	f := func(a1, b1, c1, d1, a2, b2, c2, d2, a3, b3, c3, d3 int8) bool {
+		r, s, u := mk(a1, b1, c1, d1), mk(a2, b2, c2, d2), mk(a3, b3, c3, d3)
+		if r.Union(s) != s.Union(r) {
+			return false
+		}
+		if r.Union(r) != r {
+			return false
+		}
+		return r.Union(s).Union(u) == r.Union(s.Union(u))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a region's bounding box contains every vertex of the region and
+// is the union of its polygons' boxes.
+func TestBoundingBoxProperty(t *testing.T) {
+	f := func(dx1, dy1, dx2, dy2 int8) bool {
+		r := Rgn(
+			unitSquareCW().Translate(Pt(float64(dx1), float64(dy1))),
+			unitSquareCW().Translate(Pt(float64(dx2), float64(dy2))),
+		)
+		bb := r.BoundingBox()
+		for _, p := range r {
+			for _, v := range p {
+				if !bb.Contains(v) {
+					return false
+				}
+			}
+		}
+		return bb == r[0].BoundingBox().Union(r[1].BoundingBox())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package geom
+
+import (
+	"fmt"
+)
+
+// Region is a region of the class REG* of the paper: a non-empty bounded
+// point set represented as a set of simple polygons. Disconnected regions
+// are sets of disjoint polygons; regions with holes are represented — as in
+// Fig. 2 of the paper — by decomposing the ring around the hole into simple
+// polygons that share boundary segments, so the union of the stored polygons
+// is exactly the region and the region's area is the sum of the polygon
+// areas.
+type Region []Polygon
+
+// Rgn is shorthand for constructing a Region from polygons.
+func Rgn(ps ...Polygon) Region { return Region(ps) }
+
+// NumEdges returns the total number of edges over all polygons — the
+// quantity k in the paper's O(k_a + k_b) complexity bounds.
+func (r Region) NumEdges() int {
+	n := 0
+	for _, p := range r {
+		n += p.NumEdges()
+	}
+	return n
+}
+
+// BoundingBox returns mbb(r), the region's minimum bounding box: the
+// rectangle spanned by inf/sup of the region's projections on both axes.
+func (r Region) BoundingBox() Rect {
+	b := EmptyRect()
+	for _, p := range r {
+		b = b.Union(p.BoundingBox())
+	}
+	return b
+}
+
+// Area returns the region's area: the sum of its polygons' areas (the
+// representation invariant is that polygons have disjoint interiors).
+func (r Region) Area() float64 {
+	var a float64
+	for _, p := range r {
+		a += p.Area()
+	}
+	return a
+}
+
+// Contains reports whether q lies in the region (inside or on the boundary
+// of any component polygon).
+func (r Region) Contains(q Point) bool {
+	for _, p := range r {
+		if p.Contains(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clockwise returns the region with every polygon normalised to the
+// canonical clockwise orientation.
+func (r Region) Clockwise() Region {
+	out := make(Region, len(r))
+	for i, p := range r {
+		out[i] = p.Clockwise()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the region.
+func (r Region) Clone() Region {
+	out := make(Region, len(r))
+	for i, p := range r {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// Translate returns the region shifted by the vector d.
+func (r Region) Translate(d Point) Region {
+	out := make(Region, len(r))
+	for i, p := range r {
+		out[i] = p.Translate(d)
+	}
+	return out
+}
+
+// Scale returns the region scaled by s about the origin.
+func (r Region) Scale(s float64) Region {
+	out := make(Region, len(r))
+	for i, p := range r {
+		out[i] = p.Scale(s)
+	}
+	return out
+}
+
+// Validate checks that the region is a usable REG* representation: at least
+// one polygon, and every polygon individually valid. Pairwise interior
+// disjointness of component polygons is the caller's modelling obligation
+// (shared boundary segments are explicitly allowed — that is how holes are
+// represented); ValidateStrict additionally spot-checks it.
+func (r Region) Validate() error {
+	if len(r) == 0 {
+		return fmt.Errorf("geom: region has no polygons (regions are non-empty)")
+	}
+	for i, p := range r {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("geom: region polygon %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ValidateStrict performs Validate plus a pairwise check that no two
+// component polygons properly overlap: no edge of one properly crosses an
+// edge of the other, and no polygon's representative interior point lies
+// strictly inside another polygon. Shared boundary segments remain legal.
+func (r Region) ValidateStrict() error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	for i := 0; i < len(r); i++ {
+		for j := i + 1; j < len(r); j++ {
+			if polygonsProperlyOverlap(r[i], r[j]) {
+				return fmt.Errorf("geom: region polygons %d and %d overlap improperly", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// polygonsProperlyOverlap reports whether two simple polygons share interior
+// area, detected by proper edge crossings or full containment of an interior
+// witness point.
+func polygonsProperlyOverlap(p, q Polygon) bool {
+	if !p.BoundingBox().Intersects(q.BoundingBox()) {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		for j := 0; j < len(q); j++ {
+			ep, eq := p.Edge(i), q.Edge(j)
+			o1 := Orient(ep.A, ep.B, eq.A)
+			o2 := Orient(ep.A, ep.B, eq.B)
+			o3 := Orient(eq.A, eq.B, ep.A)
+			o4 := Orient(eq.A, eq.B, ep.B)
+			if o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 {
+				// A transversal crossing strictly inside both edges means
+				// the boundaries cross, hence interiors overlap.
+				return true
+			}
+		}
+	}
+	// No boundary crossing: overlap can only be containment. Test an
+	// interior witness of each polygon against the other.
+	if wi, ok := interiorWitness(p); ok && q.Contains(wi) && !onBoundary(q, wi) {
+		return true
+	}
+	if wj, ok := interiorWitness(q); ok && p.Contains(wj) && !onBoundary(p, wj) {
+		return true
+	}
+	return false
+}
+
+// interiorWitness returns a point strictly inside the polygon, found by
+// sampling along the bisector of a convex vertex. ok is false for degenerate
+// polygons where no witness was found.
+func interiorWitness(p Polygon) (Point, bool) {
+	c := p.Centroid()
+	if p.Contains(c) && !onBoundary(p, c) {
+		return c, true
+	}
+	// Centroid may fall outside a non-convex polygon or inside a hole
+	// decomposition piece's notch; probe midpoints between the centroid and
+	// each vertex.
+	for _, v := range p {
+		m := c.Mid(v)
+		if p.Contains(m) && !onBoundary(p, m) {
+			return m, true
+		}
+	}
+	return Point{}, false
+}
+
+// onBoundary reports whether q lies on the boundary of p.
+func onBoundary(p Polygon, q Point) bool {
+	for i := range p {
+		e := p.Edge(i)
+		if Orient(e.A, e.B, q) == 0 && onSegment(e, q) {
+			return true
+		}
+	}
+	return false
+}

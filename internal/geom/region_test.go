@@ -1,0 +1,136 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// fig2RegionA reproduces region a = a1 ∪ a2 of Fig. 2 of the paper in
+// spirit: a disconnected region of two components.
+func fig2RegionA() Region {
+	a1 := Poly(Pt(0, 3), Pt(2, 3), Pt(2, 0), Pt(0, 0))
+	a2 := Poly(Pt(5, 2), Pt(7, 2), Pt(7, 0), Pt(5, 0))
+	return Rgn(a1, a2)
+}
+
+// ringWithHole builds a square ring (outer 4×4, inner hole 2×2) decomposed
+// into two simple polygons sharing boundary segments — the representation
+// the paper uses for regions with holes (Fig. 2, region b).
+func ringWithHole() Region {
+	// Left half (C-shape) and right half (mirrored C), splitting the ring
+	// along x=2 above and below the hole.
+	left := Poly(Pt(0, 4), Pt(2, 4), Pt(2, 3), Pt(1, 3), Pt(1, 1), Pt(2, 1), Pt(2, 0), Pt(0, 0))
+	right := Poly(Pt(2, 4), Pt(4, 4), Pt(4, 0), Pt(2, 0), Pt(2, 1), Pt(3, 1), Pt(3, 3), Pt(2, 3))
+	return Rgn(left, right)
+}
+
+func TestRegionNumEdges(t *testing.T) {
+	r := fig2RegionA()
+	if got := r.NumEdges(); got != 8 {
+		t.Errorf("NumEdges = %d, want 8", got)
+	}
+}
+
+func TestRegionAreaAndBox(t *testing.T) {
+	r := fig2RegionA()
+	if got := r.Area(); got != 6+4 {
+		t.Errorf("Area = %v, want 10", got)
+	}
+	if got := r.BoundingBox(); got != (Rect{0, 0, 7, 3}) {
+		t.Errorf("BoundingBox = %v", got)
+	}
+}
+
+func TestRingWithHole(t *testing.T) {
+	r := ringWithHole()
+	if err := r.ValidateStrict(); err != nil {
+		t.Fatalf("ring with hole should validate: %v", err)
+	}
+	if got := r.Area(); got != 16-4 {
+		t.Errorf("ring area = %v, want 12", got)
+	}
+	if !r.Contains(Pt(0.5, 0.5)) {
+		t.Error("ring material should contain (0.5,0.5)")
+	}
+	if r.Contains(Pt(2, 2)) {
+		t.Error("hole centre should not be contained")
+	}
+	if !r.Contains(Pt(2, 3)) { // on the shared split boundary
+		t.Error("shared boundary point should be contained")
+	}
+}
+
+func TestRegionContainsDisconnected(t *testing.T) {
+	r := fig2RegionA()
+	if !r.Contains(Pt(1, 1)) || !r.Contains(Pt(6, 1)) {
+		t.Error("points in components should be contained")
+	}
+	if r.Contains(Pt(3.5, 1)) {
+		t.Error("point in the gap should not be contained")
+	}
+}
+
+func TestRegionValidate(t *testing.T) {
+	if err := fig2RegionA().Validate(); err != nil {
+		t.Errorf("valid region rejected: %v", err)
+	}
+	if err := Rgn().Validate(); err == nil {
+		t.Error("empty region should be rejected (regions are non-empty)")
+	}
+	bad := Rgn(Poly(Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)))
+	if err := bad.Validate(); err == nil {
+		t.Error("region with bowtie polygon should be rejected")
+	}
+}
+
+func TestRegionValidateStrictOverlap(t *testing.T) {
+	a := unitSquareCW()
+	b := unitSquareCW().Translate(Pt(0.5, 0.5))
+	if err := Rgn(a, b).ValidateStrict(); err == nil {
+		t.Error("overlapping polygons should fail strict validation")
+	}
+	// Containment without boundary crossing.
+	big := Poly(Pt(0, 10), Pt(10, 10), Pt(10, 0), Pt(0, 0))
+	small := Poly(Pt(4, 6), Pt(6, 6), Pt(6, 4), Pt(4, 4))
+	if err := Rgn(big, small).ValidateStrict(); err == nil {
+		t.Error("contained polygon should fail strict validation")
+	}
+	// Disjoint and shared-boundary cases pass.
+	if err := fig2RegionA().ValidateStrict(); err != nil {
+		t.Errorf("disjoint components should pass: %v", err)
+	}
+	touching := Rgn(unitSquareCW(), unitSquareCW().Translate(Pt(1, 0)))
+	if err := touching.ValidateStrict(); err != nil {
+		t.Errorf("edge-sharing components should pass: %v", err)
+	}
+}
+
+func TestRegionTransforms(t *testing.T) {
+	r := fig2RegionA()
+	moved := r.Translate(Pt(100, 100))
+	if math.Abs(moved.Area()-r.Area()) > 1e-12 {
+		t.Error("translate changed area")
+	}
+	if moved.BoundingBox() != (Rect{100, 100, 107, 103}) {
+		t.Errorf("moved box = %v", moved.BoundingBox())
+	}
+	scaled := r.Scale(2)
+	if scaled.Area() != 4*r.Area() {
+		t.Errorf("scaled area = %v", scaled.Area())
+	}
+	cl := r.Clone()
+	cl[0][0] = Pt(-999, -999)
+	if r[0][0].Eq(Pt(-999, -999)) {
+		t.Error("Clone aliases polygons")
+	}
+}
+
+func TestRegionClockwise(t *testing.T) {
+	ccw := Poly(Pt(0, 0), Pt(1, 0), Pt(1, 1), Pt(0, 1))
+	r := Rgn(ccw, unitSquareCW()).Clockwise()
+	for i, p := range r {
+		if !p.IsClockwise() {
+			t.Errorf("polygon %d not clockwise after normalisation", i)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"sort"
+)
+
+// HasProperIntersection reports whether any two segments in the set properly
+// intersect (cross, overlap collinearly, or touch anywhere other than shared
+// endpoints), using a Shamos–Hoey-style sweep: events are segment endpoints
+// sorted by x, an active set holds segments whose x-span covers the sweep
+// line, and each insertion is checked against the active set members whose
+// bounding intervals overlap. The expected cost is O(n log n + k·n) for k
+// candidate overlaps — on polygon workloads (few or no intersections) this
+// is effectively O(n log n), against the O(n²) of the naive pairwise test.
+//
+// adjacency, when non-nil, marks segment pairs that are allowed to touch at
+// a shared endpoint (consecutive polygon edges): adjacency(i, j) must be
+// symmetric.
+func HasProperIntersection(segs []Segment, adjacency func(i, j int) bool) bool {
+	n := len(segs)
+	if n < 2 {
+		return false
+	}
+	// Normalise segments left-to-right for the sweep.
+	type entry struct {
+		seg  Segment // normalised: A.X <= B.X (ties by Y)
+		orig int
+	}
+	es := make([]entry, n)
+	for i, s := range segs {
+		if s.B.X < s.A.X || (s.B.X == s.A.X && s.B.Y < s.A.Y) {
+			s = s.Reverse()
+		}
+		es[i] = entry{seg: s, orig: i}
+	}
+	type event struct {
+		x     float64
+		y     float64
+		start bool
+		idx   int // index into es
+	}
+	events := make([]event, 0, 2*n)
+	for i, e := range es {
+		events = append(events,
+			event{x: e.seg.A.X, y: e.seg.A.Y, start: true, idx: i},
+			event{x: e.seg.B.X, y: e.seg.B.Y, start: false, idx: i},
+		)
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].x != events[b].x {
+			return events[a].x < events[b].x
+		}
+		// Ends before starts at the same x keeps merely-touching segments
+		// out of each other's active windows only when safe; since the
+		// proper-intersection test itself is exact, ordering ties
+		// conservatively (starts first) costs only extra checks.
+		if events[a].start != events[b].start {
+			return events[a].start
+		}
+		return events[a].y < events[b].y
+	})
+	// Active set ordered by the segment's minimum y (a simple ordered list;
+	// the exact pairwise test below keeps this correct regardless of the
+	// ordering heuristic — the order only prunes comparisons).
+	active := make([]int, 0, 64)
+	for _, ev := range events {
+		e := es[ev.idx]
+		if !ev.start {
+			for i, idx := range active {
+				if idx == ev.idx {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		loY, hiY := minmax(e.seg.A.Y, e.seg.B.Y)
+		for _, idx := range active {
+			o := es[idx]
+			oLo, oHi := minmax(o.seg.A.Y, o.seg.B.Y)
+			if oHi < loY || oLo > hiY {
+				continue // y-intervals disjoint: cannot intersect
+			}
+			if adjacency != nil && adjacency(e.orig, o.orig) {
+				if SegmentsProperlyIntersect(e.seg, o.seg) {
+					return true
+				}
+				continue
+			}
+			if SegmentsIntersect(e.seg, o.seg) {
+				return true
+			}
+		}
+		active = append(active, ev.idx)
+	}
+	return false
+}
+
+// IsSimpleFast is the sweep-based counterpart of Polygon.IsSimple, suitable
+// for the large polygons the paper anticipates in real GIS applications.
+// The two implementations agree on every input (property-tested); this one
+// runs in O(n log n) expected time on simple inputs instead of O(n²).
+func (p Polygon) IsSimpleFast() bool {
+	n := len(p)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if p.Edge(i).IsDegenerate() {
+			return false
+		}
+	}
+	segs := make([]Segment, n)
+	for i := 0; i < n; i++ {
+		segs[i] = p.Edge(i)
+	}
+	adjacent := func(i, j int) bool {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		return d == 1 || d == n-1
+	}
+	return !HasProperIntersection(segs, adjacent)
+}
+
+// ConvexHull returns the convex hull of the points in counter-clockwise
+// order, as computed by Andrew's monotone chain, then normalised to the
+// package's canonical clockwise orientation. Duplicate and collinear
+// boundary points are dropped. Fewer than three distinct non-collinear
+// points yield nil.
+func ConvexHull(pts []Point) Polygon {
+	if len(pts) < 3 {
+		return nil
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return nil
+	}
+	build := func(iter []Point) []Point {
+		var h []Point
+		for _, p := range iter {
+			for len(h) >= 2 && Orient(h[len(h)-2], h[len(h)-1], p) <= 0 {
+				h = h[:len(h)-1]
+			}
+			h = append(h, p)
+		}
+		return h
+	}
+	lower := build(ps)
+	rev := make([]Point, len(ps))
+	for i, p := range ps {
+		rev[len(ps)-1-i] = p
+	}
+	upper := build(rev)
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		return nil
+	}
+	return Polygon(hull).Clockwise()
+}
+
+// HullOfRegion returns the convex hull of all vertices of the region.
+func HullOfRegion(r Region) Polygon {
+	var pts []Point
+	for _, p := range r {
+		pts = append(pts, p...)
+	}
+	return ConvexHull(pts)
+}

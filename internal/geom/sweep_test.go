@@ -1,0 +1,211 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHasProperIntersectionBasics(t *testing.T) {
+	cross := []Segment{
+		Seg(Pt(0, 0), Pt(4, 4)),
+		Seg(Pt(0, 4), Pt(4, 0)),
+	}
+	if !HasProperIntersection(cross, nil) {
+		t.Error("X crossing missed")
+	}
+	disjoint := []Segment{
+		Seg(Pt(0, 0), Pt(1, 1)),
+		Seg(Pt(2, 2), Pt(3, 3)),
+		Seg(Pt(5, 0), Pt(6, 1)),
+	}
+	if HasProperIntersection(disjoint, nil) {
+		t.Error("disjoint segments reported intersecting")
+	}
+	// Endpoint touch counts without an adjacency exemption…
+	touch := []Segment{
+		Seg(Pt(0, 0), Pt(2, 2)),
+		Seg(Pt(2, 2), Pt(4, 0)),
+	}
+	if !HasProperIntersection(touch, nil) {
+		t.Error("endpoint touch missed (no adjacency)")
+	}
+	// …but is exempted for declared-adjacent pairs.
+	adj := func(i, j int) bool { return true }
+	if HasProperIntersection(touch, adj) {
+		t.Error("adjacent endpoint touch should be allowed")
+	}
+	// Adjacent pairs still must not overlap collinearly.
+	fold := []Segment{
+		Seg(Pt(0, 0), Pt(4, 0)),
+		Seg(Pt(4, 0), Pt(1, 0)),
+	}
+	if !HasProperIntersection(fold, adj) {
+		t.Error("collinear fold-back of adjacent segments missed")
+	}
+	if HasProperIntersection(nil, nil) || HasProperIntersection(cross[:1], nil) {
+		t.Error("fewer than two segments cannot intersect")
+	}
+}
+
+func TestIsSimpleFastMatchesNaive(t *testing.T) {
+	cases := []Polygon{
+		unitSquareCW(),
+		Poly(Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2)),                     // bowtie
+		Poly(Pt(0, 3), Pt(1, 3), Pt(1, 1), Pt(3, 1), Pt(3, 0), Pt(0, 0)), // L
+		Poly(Pt(0, 0), Pt(2, 0), Pt(1, 0), Pt(1, 2)),                     // spike
+		Poly(Pt(0, 0), Pt(2, 2), Pt(4, 0), Pt(4, 4), Pt(2, 2), Pt(0, 4)), // pinch
+		Poly(Pt(0, 0), Pt(1, 1)),                                         // 2-gon
+		Poly(Pt(0, 0), Pt(0, 0), Pt(1, 1), Pt(1, 0)),                     // dup vertex
+	}
+	for i, p := range cases {
+		if got, want := p.IsSimpleFast(), p.IsSimple(); got != want {
+			t.Errorf("case %d: fast=%v naive=%v", i, got, want)
+		}
+	}
+}
+
+// Property: on random star polygons (always simple) and random vertex soups
+// (often not), the sweep agrees with the naive check.
+func TestIsSimpleFastAgreesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(12)
+		var p Polygon
+		if trial%2 == 0 {
+			// Star polygon: simple by construction.
+			p = make(Polygon, n)
+			for i := 0; i < n; i++ {
+				th := 2 * math.Pi * (float64(i) + 0.1 + 0.8*rng.Float64()) / float64(n)
+				r := 1 + rng.Float64()*3
+				p[i] = Pt(r*math.Cos(th), r*math.Sin(th))
+			}
+		} else {
+			// Vertex soup on a small grid: frequently self-intersecting.
+			p = make(Polygon, n)
+			for i := range p {
+				p[i] = Pt(float64(rng.Intn(7)), float64(rng.Intn(7)))
+			}
+		}
+		if got, want := p.IsSimpleFast(), p.IsSimple(); got != want {
+			t.Fatalf("trial %d: fast=%v naive=%v for %v", trial, got, want, p)
+		}
+	}
+}
+
+func TestConvexHullKnown(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4), // square corners
+		Pt(2, 2), Pt(1, 3), Pt(3, 1), // interior points
+		Pt(2, 0), Pt(0, 2), // collinear boundary points
+	}
+	h := ConvexHull(pts)
+	if h == nil {
+		t.Fatal("nil hull")
+	}
+	if len(h) != 4 {
+		t.Fatalf("hull size = %d, want 4 (interior and collinear dropped): %v", len(h), h)
+	}
+	if !h.IsClockwise() {
+		t.Error("hull not clockwise")
+	}
+	if h.Area() != 16 {
+		t.Errorf("hull area = %v, want 16", h.Area())
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if ConvexHull([]Point{Pt(0, 0), Pt(1, 1)}) != nil {
+		t.Error("two points should have no hull")
+	}
+	if ConvexHull([]Point{Pt(0, 0), Pt(1, 1), Pt(2, 2), Pt(3, 3)}) != nil {
+		t.Error("collinear points should have no hull")
+	}
+	if ConvexHull([]Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}) != nil {
+		t.Error("coincident points should have no hull")
+	}
+}
+
+// Property: the hull contains every input point, is convex, and is invariant
+// under input permutation.
+func TestConvexHullProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		pts := make([]Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Pt(float64(raw[i]%50), float64(raw[i+1]%50)))
+		}
+		h := ConvexHull(pts)
+		if h == nil {
+			return true // collinear or degenerate input
+		}
+		for _, p := range pts {
+			if !h.Contains(p) {
+				return false
+			}
+		}
+		// Convexity: all right turns (clockwise).
+		n := len(h)
+		for i := 0; i < n; i++ {
+			if Orient(h[i], h[(i+1)%n], h[(i+2)%n]) > 0 {
+				return false
+			}
+		}
+		// Permutation invariance (reverse the input).
+		rev := make([]Point, len(pts))
+		for i, p := range pts {
+			rev[len(pts)-1-i] = p
+		}
+		h2 := ConvexHull(rev)
+		return h2 != nil && math.Abs(h2.Area()-h.Area()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHullOfRegion(t *testing.T) {
+	r := fig2RegionA() // two boxes: [0,2]×[0,3] and [5,7]×[0,2]
+	h := HullOfRegion(r)
+	if h == nil {
+		t.Fatal("nil hull")
+	}
+	for _, p := range r {
+		for _, v := range p {
+			if !h.Contains(v) {
+				t.Errorf("hull misses vertex %v", v)
+			}
+		}
+	}
+	if h.Area() <= r.Area() {
+		t.Errorf("hull area %v should exceed region area %v (disconnected input)", h.Area(), r.Area())
+	}
+}
+
+func BenchmarkIsSimple(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 512
+	p := make(Polygon, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * (float64(i) + 0.1 + 0.8*rng.Float64()) / float64(n)
+		r := 1 + rng.Float64()*3
+		p[i] = Pt(r*math.Cos(th), r*math.Sin(th))
+	}
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !p.IsSimple() {
+				b.Fatal("simple polygon rejected")
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !p.IsSimpleFast() {
+				b.Fatal("simple polygon rejected")
+			}
+		}
+	})
+}

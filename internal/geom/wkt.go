@@ -1,0 +1,215 @@
+package geom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseWKT parses a Well-Known Text geometry into a REG* region. Supported
+// types — the ones GIS region data arrives in:
+//
+//	POLYGON ((outer), (hole), …)
+//	MULTIPOLYGON (((outer), (hole)…), ((outer)…), …)
+//
+// Rings are closed per WKT convention (first point repeated last); holes
+// are converted to the paper's hole-free representation with
+// DecomposeWithHoles. Case and whitespace are insignificant.
+func ParseWKT(s string) (Region, error) {
+	p := &wktParser{src: s}
+	p.skipSpace()
+	kw := p.keyword()
+	var out Region
+	switch strings.ToUpper(kw) {
+	case "POLYGON":
+		poly, err := p.polygonBody()
+		if err != nil {
+			return nil, err
+		}
+		out = poly
+	case "MULTIPOLYGON":
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		for {
+			poly, err := p.polygonBody()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, poly...)
+			p.skipSpace()
+			if p.eat(',') {
+				continue
+			}
+			if err := p.expect(')'); err != nil {
+				return nil, err
+			}
+			break
+		}
+	case "":
+		return nil, fmt.Errorf("geom: empty WKT input")
+	default:
+		return nil, fmt.Errorf("geom: unsupported WKT type %q (POLYGON and MULTIPOLYGON are supported)", kw)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("geom: trailing WKT input at offset %d", p.pos)
+	}
+	return out, nil
+}
+
+// FormatWKT renders a region as a MULTIPOLYGON of its (hole-free) simple
+// polygons, closing each ring per WKT convention. ParseWKT(FormatWKT(r))
+// reproduces the region.
+func FormatWKT(r Region) string {
+	var sb strings.Builder
+	sb.WriteString("MULTIPOLYGON (")
+	for i, p := range r {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("((")
+		for j := 0; j <= len(p); j++ {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			v := p[j%len(p)]
+			sb.WriteString(trimFloat(v.X))
+			sb.WriteByte(' ')
+			sb.WriteString(trimFloat(v.Y))
+		}
+		sb.WriteString("))")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+type wktParser struct {
+	src string
+	pos int
+}
+
+func (p *wktParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *wktParser) keyword() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *wktParser) eat(c byte) bool {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *wktParser) expect(c byte) error {
+	if !p.eat(c) {
+		got := "end of input"
+		if p.pos < len(p.src) {
+			got = fmt.Sprintf("%q", p.src[p.pos])
+		}
+		return fmt.Errorf("geom: WKT: expected %q at offset %d, found %s", c, p.pos, got)
+	}
+	return nil
+}
+
+func (p *wktParser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("geom: WKT: expected a number at offset %d", p.pos)
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, fmt.Errorf("geom: WKT: bad number %q: %w", p.src[start:p.pos], err)
+	}
+	return v, nil
+}
+
+// ring parses "( x y, x y, … )" and returns the unclosed vertex ring.
+func (p *wktParser) ring() (Polygon, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out Polygon
+	for {
+		x, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		y, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Pt(x, y))
+		if p.eat(',') {
+			continue
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		break
+	}
+	// Drop the closing duplicate point if present.
+	if len(out) > 1 && out[0].Eq(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	if len(out) < 3 {
+		return nil, fmt.Errorf("geom: WKT ring has %d distinct points, need at least 3", len(out))
+	}
+	return out, nil
+}
+
+// polygonBody parses "((outer), (hole), …)" and decomposes holes away.
+func (p *wktParser) polygonBody() (Region, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	outer, err := p.ring()
+	if err != nil {
+		return nil, err
+	}
+	var holes []Polygon
+	for p.eat(',') {
+		h, err := p.ring()
+		if err != nil {
+			return nil, err
+		}
+		holes = append(holes, h)
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return DecomposeWithHoles(outer, holes)
+}

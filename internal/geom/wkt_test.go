@@ -1,0 +1,224 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDecomposeNoHoles(t *testing.T) {
+	sq := Poly(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0))
+	r, err := DecomposeWithHoles(sq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r.Area() != 16 {
+		t.Errorf("trivial decomposition: %d pieces, area %v", len(r), r.Area())
+	}
+}
+
+func TestDecomposeSquareWithHole(t *testing.T) {
+	outer := Poly(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0))
+	hole := Poly(Pt(1, 3), Pt(3, 3), Pt(3, 1), Pt(1, 1))
+	r, err := DecomposeWithHoles(outer, []Polygon{hole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateStrict(); err != nil {
+		t.Fatalf("decomposition invalid: %v", err)
+	}
+	if math.Abs(r.Area()-(16-4)) > 1e-9 {
+		t.Errorf("area = %v, want 12", r.Area())
+	}
+	if r.Contains(Pt(2, 2)) {
+		t.Error("hole centre should not be contained")
+	}
+	for _, p := range []Point{Pt(0.5, 0.5), Pt(0.5, 3.5), Pt(3.5, 2), Pt(2, 0.5), Pt(2, 3.5)} {
+		if !r.Contains(p) {
+			t.Errorf("material point %v not contained", p)
+		}
+	}
+}
+
+func TestDecomposeTwoHoles(t *testing.T) {
+	outer := Poly(Pt(0, 4), Pt(10, 4), Pt(10, 0), Pt(0, 0))
+	h1 := Poly(Pt(1, 3), Pt(3, 3), Pt(3, 1), Pt(1, 1))
+	h2 := Poly(Pt(6, 3), Pt(8, 3), Pt(8, 1), Pt(6, 1))
+	r, err := DecomposeWithHoles(outer, []Polygon{h1, h2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Area()-(40-4-4)) > 1e-9 {
+		t.Errorf("area = %v, want 32", r.Area())
+	}
+	if r.Contains(Pt(2, 2)) || r.Contains(Pt(7, 2)) {
+		t.Error("hole centres contained")
+	}
+	if !r.Contains(Pt(4.5, 2)) {
+		t.Error("material between holes missing")
+	}
+}
+
+func TestDecomposeTriangleHole(t *testing.T) {
+	outer := Poly(Pt(0, 8), Pt(8, 8), Pt(8, 0), Pt(0, 0))
+	hole := Poly(Pt(2, 2), Pt(4, 6), Pt(6, 2))
+	r, err := DecomposeWithHoles(outer, []Polygon{hole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Area()-(64-8)) > 1e-9 {
+		t.Errorf("area = %v, want 56", r.Area())
+	}
+	// Monte-Carlo containment agreement with the analytic definition.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		p := Pt(rng.Float64()*8, rng.Float64()*8)
+		want := outer.Contains(p) && !strictlyInsidePolygon(hole, p)
+		if got := r.Contains(p); got != want {
+			// Boundary points may legitimately differ; skip those.
+			if onBoundary(hole, p) || onBoundary(outer, p) {
+				continue
+			}
+			onPiece := false
+			for _, piece := range r {
+				if onBoundary(piece, p) {
+					onPiece = true
+					break
+				}
+			}
+			if onPiece {
+				continue
+			}
+			t.Fatalf("point %v: decomposed %v, analytic %v", p, got, want)
+		}
+	}
+}
+
+func strictlyInsidePolygon(p Polygon, q Point) bool {
+	return p.Contains(q) && !onBoundary(p, q)
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	outer := Poly(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0))
+	if _, err := DecomposeWithHoles(Poly(Pt(0, 0), Pt(1, 1)), nil); err == nil {
+		t.Error("invalid outer should fail")
+	}
+	bow := Poly(Pt(0, 0), Pt(2, 2), Pt(2, 0), Pt(0, 2))
+	if _, err := DecomposeWithHoles(outer, []Polygon{bow}); err == nil {
+		t.Error("invalid hole should fail")
+	}
+	far := Poly(Pt(10, 12), Pt(12, 12), Pt(12, 10), Pt(10, 10))
+	if _, err := DecomposeWithHoles(outer, []Polygon{far}); err == nil {
+		t.Error("hole outside the outer ring should fail")
+	}
+	// Hole covering the whole outer ring leaves nothing.
+	same := Poly(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0))
+	if _, err := DecomposeWithHoles(outer, []Polygon{same}); err == nil {
+		t.Error("hole covering everything should fail")
+	}
+}
+
+func TestParseWKTPolygon(t *testing.T) {
+	r, err := ParseWKT("POLYGON ((0 0, 0 4, 4 4, 4 0, 0 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 1 || r.Area() != 16 {
+		t.Errorf("pieces=%d area=%v", len(r), r.Area())
+	}
+	// Case-insensitive, flexible whitespace, unclosed ring accepted.
+	r2, err := ParseWKT("polygon((0 0,0 4,4 4,4 0))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Area() != 16 {
+		t.Errorf("area = %v", r2.Area())
+	}
+}
+
+func TestParseWKTPolygonWithHole(t *testing.T) {
+	r, err := ParseWKT("POLYGON ((0 0, 0 4, 4 4, 4 0, 0 0), (1 1, 1 3, 3 3, 3 1, 1 1))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Area()-12) > 1e-9 {
+		t.Errorf("area = %v, want 12", r.Area())
+	}
+	if r.Contains(Pt(2, 2)) {
+		t.Error("hole centre contained")
+	}
+}
+
+func TestParseWKTMultiPolygon(t *testing.T) {
+	r, err := ParseWKT("MULTIPOLYGON (((0 0, 0 1, 1 1, 1 0)), ((5 5, 5 7, 7 7, 7 5)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || math.Abs(r.Area()-5) > 1e-9 {
+		t.Errorf("pieces=%d area=%v", len(r), r.Area())
+	}
+}
+
+func TestParseWKTErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"LINESTRING (0 0, 1 1)",
+		"POLYGON",
+		"POLYGON (0 0, 1 1)",             // missing ring parens
+		"POLYGON ((0 0, 1 1))",           // too few points
+		"POLYGON ((0 0, 0 1, 1 x))",      // bad number
+		"POLYGON ((0 0, 0 1, 1 1)) junk", // trailing garbage
+		"MULTIPOLYGON ((0 0))",
+	}
+	for _, s := range bad {
+		if _, err := ParseWKT(s); err == nil {
+			t.Errorf("ParseWKT(%q) should fail", s)
+		}
+	}
+}
+
+func TestWKTRoundtrip(t *testing.T) {
+	orig := Rgn(
+		Poly(Pt(0, 4), Pt(4, 4), Pt(4, 0), Pt(0, 0)),
+		Poly(Pt(6, 1), Pt(7, 2), Pt(8, 0)),
+	)
+	w := FormatWKT(orig)
+	if !strings.HasPrefix(w, "MULTIPOLYGON") {
+		t.Fatalf("unexpected WKT: %q", w)
+	}
+	back, err := ParseWKT(w)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", w, err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("pieces = %d, want %d", len(back), len(orig))
+	}
+	if math.Abs(back.Area()-orig.Area()) > 1e-9 {
+		t.Errorf("area %v != %v", back.Area(), orig.Area())
+	}
+}
+
+// Property: for random hole positions strictly inside a fixed outer square,
+// decomposition preserves area exactly and never covers the hole.
+func TestDecomposeAreaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	outer := Poly(Pt(0, 10), Pt(10, 10), Pt(10, 0), Pt(0, 0))
+	for trial := 0; trial < 100; trial++ {
+		x := 1 + rng.Float64()*5
+		y := 1 + rng.Float64()*5
+		w := 0.5 + rng.Float64()*2
+		h := 0.5 + rng.Float64()*2
+		hole := Poly(Pt(x, y+h), Pt(x+w, y+h), Pt(x+w, y), Pt(x, y))
+		r, err := DecomposeWithHoles(outer, []Polygon{hole})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(r.Area()-(100-w*h)) > 1e-9 {
+			t.Fatalf("trial %d: area %v, want %v", trial, r.Area(), 100-w*h)
+		}
+		if r.Contains(Pt(x+w/2, y+h/2)) {
+			t.Fatalf("trial %d: hole centre contained", trial)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+// DirectionalSelect finds the regions whose cardinal direction relation to
+// the reference region is a member of the allowed set, using a three-stage
+// plan a spatial database would use:
+//
+//  1. R-tree window search — the allowed relations' tiles bound where a
+//     matching region's bounding box can possibly lie;
+//  2. MBB refinement — the bounding-box relation over-approximates the
+//     exact relation (exact tiles ⊆ MBB tiles), so a candidate survives
+//     only when some allowed relation is a subset of its MBB relation;
+//  3. exact refinement — Compute-CDR on the survivors.
+//
+// regions supplies the exact geometry by item id. Results are sorted ids.
+// Every stage is sound (no false dismissals); the tests check equivalence
+// with the naive scan.
+func DirectionalSelect(
+	tree *RTree,
+	regions map[string]geom.Region,
+	reference geom.Region,
+	allowed core.RelationSet,
+) ([]string, error) {
+	if allowed.IsEmpty() {
+		return nil, fmt.Errorf("index: empty allowed relation set")
+	}
+	grid, err := core.NewGrid(reference.BoundingBox())
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 1: the window containing every tile mentioned by any allowed
+	// relation. A matching region lies inside the union of its relation's
+	// tiles, hence inside this window.
+	window := windowOfRelations(grid, allowed)
+	candidates := tree.Search(window, nil)
+	allowedRels := allowed.Relations()
+
+	var out []string
+	for _, it := range candidates {
+		// Stage 2: MBB-level pruning.
+		mbbRel := mbbRelation(grid, it.Box)
+		possible := false
+		for _, r := range allowedRels {
+			if r.Intersect(mbbRel) == r {
+				possible = true
+				break
+			}
+		}
+		if !possible {
+			continue
+		}
+		// Stage 3: exact refinement.
+		g, ok := regions[it.ID]
+		if !ok {
+			return nil, fmt.Errorf("index: no geometry for indexed id %q", it.ID)
+		}
+		rel, err := core.ComputeCDR(g, reference)
+		if err != nil {
+			return nil, fmt.Errorf("index: refining %q: %w", it.ID, err)
+		}
+		if allowed.Contains(rel) {
+			out = append(out, it.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// windowOfRelations returns the bounding box of the union of every tile
+// used by any relation in the set; unbounded tiles yield ±Inf sides.
+func windowOfRelations(g core.Grid, allowed core.RelationSet) geom.Rect {
+	var tiles core.Relation
+	for _, r := range allowed.Relations() {
+		tiles = tiles.Union(r)
+	}
+	w := geom.EmptyRect()
+	for _, t := range tiles.Tiles() {
+		w = w.Union(tileRect(g, t))
+	}
+	return w
+}
+
+// tileRect returns a tile's extent, with ±Inf for unbounded sides.
+func tileRect(g core.Grid, t core.Tile) geom.Rect {
+	r := geom.Rect{MinX: math.Inf(-1), MinY: math.Inf(-1), MaxX: math.Inf(1), MaxY: math.Inf(1)}
+	switch t.Col() {
+	case 0:
+		r.MaxX = g.M1
+	case 1:
+		r.MinX, r.MaxX = g.M1, g.M2
+	case 2:
+		r.MinX = g.M2
+	}
+	switch t.Row() {
+	case 0:
+		r.MaxY = g.L1
+	case 1:
+		r.MinY, r.MaxY = g.L1, g.L2
+	case 2:
+		r.MinY = g.L2
+	}
+	return r
+}
+
+// mbbRelation computes the tile relation of a bounding box against the
+// grid: the tiles the box overlaps with positive area. It equals the exact
+// relation of the box viewed as a region, and over-approximates the exact
+// relation of anything inside the box.
+func mbbRelation(g core.Grid, box geom.Rect) core.Relation {
+	var rel core.Relation
+	for _, t := range core.Tiles() {
+		tr := tileRect(g, t)
+		if math.Min(tr.MaxX, box.MaxX) > math.Max(tr.MinX, box.MinX) &&
+			math.Min(tr.MaxY, box.MaxY) > math.Max(tr.MinY, box.MinY) {
+			rel = rel.With(t)
+		}
+	}
+	return rel
+}

@@ -1,0 +1,208 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+// buildWorld indexes n random star regions and returns the tree, the
+// geometry map and a reference region in the middle of the field.
+func buildWorld(t testing.TB, n int, seed int64) (*RTree, map[string]geom.Region, geom.Region) {
+	t.Helper()
+	g := workload.New(seed)
+	regions := map[string]geom.Region{}
+	items := make([]Item, 0, n)
+	side := 1
+	for side*side < n {
+		side++
+	}
+	for i := 0; i < n; i++ {
+		cx := float64(i%side) * 12
+		cy := float64(i/side) * 12
+		r := geom.Rgn(g.StarPolygon(cx, cy, 1, 4, 8))
+		id := fmt.Sprintf("r%04d", i)
+		regions[id] = r
+		items = append(items, Item{Box: r.BoundingBox(), ID: id})
+	}
+	tree, err := BulkLoad(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := float64(side) * 12 / 2
+	ref := workload.BoxRegion(mid-4, mid-4, mid+4, mid+4)
+	return tree, regions, ref
+}
+
+// naiveSelect is the reference implementation: relation per candidate.
+func naiveSelect(t testing.TB, regions map[string]geom.Region, ref geom.Region, allowed core.RelationSet) []string {
+	t.Helper()
+	var out []string
+	for id, g := range regions {
+		rel, err := core.ComputeCDR(g, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allowed.Contains(rel) {
+			out = append(out, id)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestDirectionalSelectMatchesNaive(t *testing.T) {
+	tree, regions, ref := buildWorld(t, 100, 3)
+	sets := []core.RelationSet{
+		core.NewRelationSet(core.SW),
+		core.NewRelationSet(core.N, core.NE, core.Rel(core.TileN, core.TileNE)),
+		core.NewRelationSet(core.B),
+		func() core.RelationSet { // everything with any north component
+			var s core.RelationSet
+			for _, r := range core.AllRelations() {
+				if r.Has(core.TileN) || r.Has(core.TileNE) || r.Has(core.TileNW) {
+					s.Add(r)
+				}
+			}
+			return s
+		}(),
+	}
+	for i, allowed := range sets {
+		want := naiveSelect(t, regions, ref, allowed)
+		got, err := DirectionalSelect(tree, regions, ref, allowed)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("set %d: %d hits, want %d (%v vs %v)", i, len(got), len(want), got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("set %d: mismatch at %d: %v vs %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDirectionalSelectErrors(t *testing.T) {
+	tree, regions, ref := buildWorld(t, 10, 5)
+	if _, err := DirectionalSelect(tree, regions, ref, core.RelationSet{}); err == nil {
+		t.Error("empty allowed set should fail")
+	}
+	line := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)))
+	if _, err := DirectionalSelect(tree, regions, line, core.NewRelationSet(core.N)); err == nil {
+		t.Error("degenerate reference should fail")
+	}
+	// Missing geometry for an indexed id: the ghost's box sits inside the
+	// reference's bounding box so it survives the MBB stages and forces the
+	// geometry lookup.
+	bad := New()
+	refBox := ref.BoundingBox()
+	c := refBox.Center()
+	bad.Insert(Item{Box: geom.Rect{MinX: c.X - 0.5, MinY: c.Y - 0.5, MaxX: c.X + 0.5, MaxY: c.Y + 0.5}, ID: "ghost"})
+	if _, err := DirectionalSelect(bad, map[string]geom.Region{}, ref, core.NewRelationSet(core.B)); err == nil {
+		t.Error("missing geometry should fail")
+	}
+}
+
+func TestMBBRelationAgainstCore(t *testing.T) {
+	ref := workload.BoxRegion(0, 0, 10, 6)
+	grid, err := core.NewGrid(ref.BoundingBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.New(17)
+	for trial := 0; trial < 200; trial++ {
+		r := geom.Rgn(g.StarPolygon(float64(trial%20)-5, float64(trial%13)-4, 0.5, 3, 7))
+		mbbRel := mbbRelation(grid, r.BoundingBox())
+		exact, err := core.ComputeCDR(r, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Intersect(mbbRel) != exact {
+			t.Fatalf("trial %d: exact %v ⊄ mbb %v", trial, exact, mbbRel)
+		}
+	}
+}
+
+func TestWindowOfRelationsCoversMatches(t *testing.T) {
+	ref := workload.BoxRegion(0, 0, 10, 6)
+	grid, err := core.NewGrid(ref.BoundingBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := core.NewRelationSet(core.SW, core.Rel(core.TileS, core.TileSW))
+	w := windowOfRelations(grid, allowed)
+	// The window must contain any box realising an allowed relation.
+	sw := workload.BoxRegion(-5, -5, -1, -1)
+	if !w.Intersects(sw.BoundingBox()) {
+		t.Errorf("window %v misses a SW match", w)
+	}
+	// And must exclude far-north boxes when no allowed relation has a
+	// north tile.
+	n := workload.BoxRegion(2, 100, 4, 102)
+	if w.Intersects(n.BoundingBox()) {
+		t.Errorf("window %v wrongly covers the north", w)
+	}
+}
+
+func BenchmarkDirectionalSelect(b *testing.B) {
+	tree, regions, ref := buildWorld(b, 2500, 11)
+	allowed := core.NewRelationSet(core.SW, core.Rel(core.TileS, core.TileSW))
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DirectionalSelect(tree, regions, ref, allowed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range regions {
+				rel, err := core.ComputeCDR(g, ref)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = allowed.Contains(rel)
+			}
+		}
+	})
+}
+
+// TestDirectionalSelectRandomSetsProperty: for random allowed sets the
+// indexed plan agrees with the naive scan.
+func TestDirectionalSelectRandomSetsProperty(t *testing.T) {
+	tree, regions, ref := buildWorld(t, 60, 21)
+	rels := core.AllRelations()
+	rng := func(seed, n int) int { return (seed*2654435761 + n) % len(rels) }
+	for trial := 0; trial < 25; trial++ {
+		var allowed core.RelationSet
+		for k := 0; k < 1+trial%7; k++ {
+			allowed.Add(rels[rng(trial, k*13+7)])
+		}
+		want := naiveSelect(t, regions, ref, allowed)
+		got, err := DirectionalSelect(tree, regions, ref, allowed)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d (%v vs %v)", trial, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch %v vs %v", trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cardirect/internal/geom"
+)
+
+func boxAt(x, y, w, h float64) geom.Rect {
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(boxAt(0, 0, 100, 100), nil); len(got) != 0 {
+		t.Errorf("search on empty tree = %v", got)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertAndSearch(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		x := float64(i%10) * 10
+		y := float64(i/10) * 10
+		if err := tr.Insert(Item{Box: boxAt(x, y, 5, 5), ID: fmt.Sprintf("r%03d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// A window covering exactly one cell.
+	got := tr.Search(boxAt(21, 21, 2, 2), nil)
+	if len(got) != 1 || got[0].ID != "r022" {
+		t.Errorf("point-ish search = %v", got)
+	}
+	// A window covering a 2×2 block of cells (touching counts: closed
+	// rectangles).
+	got = tr.Search(boxAt(0, 0, 15, 15), nil)
+	if len(got) != 4 {
+		t.Errorf("block search returned %d items", len(got))
+	}
+	// A window outside everything.
+	if got := tr.Search(boxAt(500, 500, 10, 10), nil); len(got) != 0 {
+		t.Errorf("far search = %v", got)
+	}
+	if err := tr.Insert(Item{Box: geom.EmptyRect(), ID: "bad"}); err == nil {
+		t.Error("empty box insert should fail")
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	items := make([]Item, 500)
+	for i := range items {
+		items[i] = Item{
+			Box: boxAt(rng.Float64()*1000, rng.Float64()*1000, 1+rng.Float64()*20, 1+rng.Float64()*20),
+			ID:  fmt.Sprintf("it%04d", i),
+		}
+	}
+	bulk, err := BulkLoad(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulk.Len() != len(items) {
+		t.Fatalf("bulk Len = %d", bulk.Len())
+	}
+	if err := bulk.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	incr := New()
+	for _, it := range items {
+		if err := incr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := incr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Both must agree with the linear scan on random windows.
+	for trial := 0; trial < 200; trial++ {
+		w := boxAt(rng.Float64()*900, rng.Float64()*900, rng.Float64()*150, rng.Float64()*150)
+		want := map[string]bool{}
+		for _, it := range items {
+			if it.Box.Intersects(w) {
+				want[it.ID] = true
+			}
+		}
+		for name, tree := range map[string]*RTree{"bulk": bulk, "incr": incr} {
+			got := tree.Search(w, nil)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: %d hits, want %d", trial, name, len(got), len(want))
+			}
+			for _, it := range got {
+				if !want[it.ID] {
+					t.Fatalf("trial %d %s: spurious hit %s", trial, name, it.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestBulkLoadEdgeCases(t *testing.T) {
+	tr, err := BulkLoad(nil)
+	if err != nil || tr.Len() != 0 {
+		t.Fatalf("empty bulk load: %v, %d", err, tr.Len())
+	}
+	one, err := BulkLoad([]Item{{Box: boxAt(0, 0, 1, 1), ID: "x"}})
+	if err != nil || one.Depth() != 1 {
+		t.Fatalf("single-item bulk load: %v depth=%d", err, one.Depth())
+	}
+	if _, err := BulkLoad([]Item{{Box: geom.EmptyRect(), ID: "bad"}}); err == nil {
+		t.Error("empty box should fail bulk load")
+	}
+}
+
+func TestTreeGrowsInDepth(t *testing.T) {
+	tr := New()
+	for i := 0; i < maxEntries+1; i++ {
+		tr.Insert(Item{Box: boxAt(float64(i)*10, 0, 5, 5), ID: fmt.Sprintf("%d", i)})
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("depth after first split = %d, want 2", tr.Depth())
+	}
+	for i := 0; i < 500; i++ {
+		tr.Insert(Item{Box: boxAt(float64(i%50)*7, float64(i/50)*7, 3, 3), ID: fmt.Sprintf("g%d", i)})
+	}
+	if tr.Depth() < 3 {
+		t.Errorf("depth after 500 inserts = %d", tr.Depth())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchAppendsToDst(t *testing.T) {
+	tr := New()
+	tr.Insert(Item{Box: boxAt(0, 0, 1, 1), ID: "a"})
+	dst := make([]Item, 0, 8)
+	dst = append(dst, Item{ID: "existing"})
+	got := tr.Search(boxAt(0, 0, 2, 2), dst)
+	ids := []string{got[0].ID, got[1].ID}
+	sort.Strings(ids)
+	if len(got) != 2 || ids[0] != "a" || ids[1] != "existing" {
+		t.Errorf("append semantics broken: %v", got)
+	}
+}
+
+func BenchmarkRTreeSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, 10000)
+	for i := range items {
+		items[i] = Item{
+			Box: boxAt(rng.Float64()*1000, rng.Float64()*1000, 1+rng.Float64()*5, 1+rng.Float64()*5),
+			ID:  fmt.Sprintf("it%05d", i),
+		}
+	}
+	tr, err := BulkLoad(items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := boxAt(400, 400, 50, 50)
+	b.Run("rtree", func(b *testing.B) {
+		var dst []Item
+		for i := 0; i < b.N; i++ {
+			dst = tr.Search(w, dst[:0])
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		var dst []Item
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			for _, it := range items {
+				if it.Box.Intersects(w) {
+					dst = append(dst, it)
+				}
+			}
+		}
+	})
+}

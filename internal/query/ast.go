@@ -1,0 +1,98 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"cardirect/internal/core"
+)
+
+// Query is a parsed conjunctive query: head variables and a conjunction of
+// conditions over them.
+type Query struct {
+	Vars  []string
+	Conds []Cond
+}
+
+// Cond is one conjunct of a query condition.
+type Cond interface {
+	fmt.Stringer
+	// vars returns the variables the condition mentions.
+	vars() []string
+}
+
+// BindCond pins a variable to a specific region id: x = attica.
+type BindCond struct {
+	Var      string
+	RegionID string
+}
+
+func (c BindCond) String() string { return fmt.Sprintf("%s = %s", c.Var, c.RegionID) }
+func (c BindCond) vars() []string { return []string{c.Var} }
+
+// AttrCond filters on a thematic attribute: color(x) = red, or with Negated
+// set, color(x) != red (an extension beyond the paper's positive-conjunctive
+// language).
+type AttrCond struct {
+	Attr    string
+	Var     string
+	Value   string
+	Negated bool
+}
+
+func (c AttrCond) String() string {
+	op := "="
+	if c.Negated {
+		op = "!="
+	}
+	return fmt.Sprintf("%s(%s) %s %s", c.Attr, c.Var, op, c.Value)
+}
+func (c AttrCond) vars() []string { return []string{c.Var} }
+
+// RelCond constrains the cardinal direction relation between two variables:
+// x R y with R a possibly disjunctive relation; with Negated set the
+// condition reads "not x R y" — the relation between the bindings is not a
+// member of R (extension).
+type RelCond struct {
+	Left    string
+	Rels    core.RelationSet
+	Right   string
+	Negated bool
+}
+
+func (c RelCond) String() string {
+	if c.Negated {
+		return fmt.Sprintf("not %s %v %s", c.Left, c.Rels, c.Right)
+	}
+	return fmt.Sprintf("%s %v %s", c.Left, c.Rels, c.Right)
+}
+func (c RelCond) vars() []string { return []string{c.Left, c.Right} }
+
+// String renders the query back in concrete syntax.
+func (q *Query) String() string {
+	parts := make([]string, len(q.Conds))
+	for i, c := range q.Conds {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("q(%s) :- %s", strings.Join(q.Vars, ", "), strings.Join(parts, ", "))
+}
+
+// PctCond is a quantitative condition over the cardinal direction matrix
+// with percentages (the paper's §2 extension surfaced in the query
+// language, beyond the paper's own grammar):
+//
+//	pct(x NE y) >= 50
+//
+// holds when at least half of x's area lies in the NE tile of y.
+type PctCond struct {
+	Left  string
+	Tile  core.Tile
+	Right string
+	Op    string // ">=", "<=", ">", "<" or "="
+	Value float64
+}
+
+func (c PctCond) String() string {
+	return fmt.Sprintf("pct(%s %v %s) %s %g", c.Left, c.Tile, c.Right, c.Op, c.Value)
+}
+func (c PctCond) vars() []string { return []string{c.Left, c.Right} }

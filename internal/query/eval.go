@@ -1,0 +1,281 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+// Binding maps query variables to region ids — one query answer.
+type Binding map[string]string
+
+// Evaluator answers queries over one CARDIRECT configuration. Pairwise
+// relations are computed lazily with Compute-CDR and cached, so repeated
+// queries over the same configuration pay the geometry cost once per ordered
+// pair.
+type Evaluator struct {
+	img      *config.Image
+	geoms    map[string]geom.Region
+	ids      []string
+	relCache map[[2]string]core.Relation
+	pctCache map[[2]string]core.PercentMatrix
+	attrs    map[string]func(*config.Region) string
+}
+
+// NewEvaluator prepares an evaluator for the configuration. The built-in
+// thematic attributes are "color" and "name" (the paper's model allows any
+// attribute set C; RegisterAttr adds more).
+func NewEvaluator(img *config.Image) (*Evaluator, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		img:      img,
+		geoms:    make(map[string]geom.Region, len(img.Regions)),
+		relCache: map[[2]string]core.Relation{},
+		pctCache: map[[2]string]core.PercentMatrix{},
+		attrs: map[string]func(*config.Region) string{
+			"color": func(r *config.Region) string { return r.Color },
+			"name":  func(r *config.Region) string { return r.Name },
+		},
+	}
+	for i := range img.Regions {
+		r := &img.Regions[i]
+		e.geoms[r.ID] = r.Geometry()
+		e.ids = append(e.ids, r.ID)
+	}
+	sort.Strings(e.ids)
+	return e, nil
+}
+
+// RegisterAttr adds a thematic attribute accessor usable in attribute
+// conditions.
+func (e *Evaluator) RegisterAttr(name string, fn func(*config.Region) string) {
+	e.attrs[name] = fn
+}
+
+// Relation returns the cardinal direction relation of primary p versus
+// reference q, computing and caching it on first use. Materialised
+// relations in the configuration are trusted when present.
+func (e *Evaluator) Relation(p, q string) (core.Relation, error) {
+	key := [2]string{p, q}
+	if r, ok := e.relCache[key]; ok {
+		return r, nil
+	}
+	if entry, ok := e.img.RelationBetween(p, q); ok {
+		r, err := core.ParseRelation(entry.Type)
+		if err == nil {
+			e.relCache[key] = r
+			return r, nil
+		}
+	}
+	r, err := core.ComputeCDR(e.geoms[p], e.geoms[q])
+	if err != nil {
+		return 0, fmt.Errorf("query: relation %s vs %s: %w", p, q, err)
+	}
+	e.relCache[key] = r
+	return r, nil
+}
+
+// Percent returns the percentage matrix of primary p versus reference q,
+// computing and caching it on first use.
+func (e *Evaluator) Percent(p, q string) (core.PercentMatrix, error) {
+	key := [2]string{p, q}
+	if m, ok := e.pctCache[key]; ok {
+		return m, nil
+	}
+	m, _, err := core.ComputeCDRPct(e.geoms[p], e.geoms[q])
+	if err != nil {
+		return core.PercentMatrix{}, fmt.Errorf("query: percentages %s vs %s: %w", p, q, err)
+	}
+	e.pctCache[key] = m
+	return m, nil
+}
+
+// EvalString parses and evaluates a query in one step.
+func (e *Evaluator) EvalString(input string) ([]Binding, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.Eval(q)
+}
+
+// Eval evaluates the query, returning every satisfying assignment of region
+// ids to head variables in lexicographic order. Distinct variables may bind
+// to the same region unless a condition forbids it, matching the relational
+// semantics of the paper's query model.
+func (e *Evaluator) Eval(q *Query) ([]Binding, error) {
+	// Pre-index conditions per variable for cheap unit propagation:
+	// bindings and attribute filters restrict candidate sets up-front.
+	candidates := make(map[string][]string, len(q.Vars))
+	for _, v := range q.Vars {
+		cand := e.ids
+		for _, c := range q.Conds {
+			switch cc := c.(type) {
+			case BindCond:
+				if cc.Var == v {
+					if e.img.FindRegion(cc.RegionID) == nil {
+						return nil, fmt.Errorf("query: unknown region %q in %v", cc.RegionID, cc)
+					}
+					cand = intersect(cand, []string{cc.RegionID})
+				}
+			case AttrCond:
+				if cc.Var != v {
+					continue
+				}
+				fn, ok := e.attrs[cc.Attr]
+				if !ok {
+					return nil, fmt.Errorf("query: unknown attribute %q in %v", cc.Attr, cc)
+				}
+				var keep []string
+				for _, id := range cand {
+					if (fn(e.img.FindRegion(id)) == cc.Value) != cc.Negated {
+						keep = append(keep, id)
+					}
+				}
+				cand = keep
+			}
+		}
+		candidates[v] = cand
+	}
+	// Relation and percentage conditions, grouped for the join loop.
+	var rels []RelCond
+	var pcts []PctCond
+	for _, c := range q.Conds {
+		switch cc := c.(type) {
+		case RelCond:
+			rels = append(rels, cc)
+		case PctCond:
+			pcts = append(pcts, cc)
+		}
+	}
+
+	var out []Binding
+	assign := make(map[string]string, len(q.Vars))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(q.Vars) {
+			b := make(Binding, len(assign))
+			for k, v := range assign {
+				b[k] = v
+			}
+			out = append(out, b)
+			return nil
+		}
+		v := q.Vars[i]
+		for _, id := range candidates[v] {
+			assign[v] = id
+			ok := true
+			// Check every relation condition whose variables are all bound.
+			for _, rc := range rels {
+				l, lok := assign[rc.Left]
+				r, rok := assign[rc.Right]
+				if !lok || !rok {
+					continue
+				}
+				var rel core.Relation
+				if l == r {
+					rel = core.B // a region is only B of itself
+				} else {
+					var err error
+					rel, err = e.Relation(l, r)
+					if err != nil {
+						return err
+					}
+				}
+				if rc.Rels.Contains(rel) == rc.Negated {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, pc := range pcts {
+					l, lok := assign[pc.Left]
+					r, rok := assign[pc.Right]
+					if !lok || !rok {
+						continue
+					}
+					var pct float64
+					if l == r {
+						if pc.Tile == core.TileB {
+							pct = 100 // a region is 100% B of itself
+						}
+					} else {
+						m, err := e.Percent(l, r)
+						if err != nil {
+							return err
+						}
+						pct = m.Get(pc.Tile)
+					}
+					if !comparePct(pct, pc.Op, pc.Value) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			delete(assign, v)
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sortBindings(out, q.Vars)
+	return out, nil
+}
+
+// comparePct applies a pct comparison with a small absolute tolerance on
+// equality (percentages come from floating-point geometry).
+func comparePct(pct float64, op string, value float64) bool {
+	const eps = 1e-9
+	switch op {
+	case ">=":
+		return pct >= value-eps
+	case "<=":
+		return pct <= value+eps
+	case ">":
+		return pct > value+eps
+	case "<":
+		return pct < value-eps
+	default: // "="
+		d := pct - value
+		if d < 0 {
+			d = -d
+		}
+		return d <= eps
+	}
+}
+
+func intersect(a, b []string) []string {
+	set := map[string]bool{}
+	for _, x := range b {
+		set[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortBindings(bs []Binding, vars []string) {
+	sort.Slice(bs, func(i, j int) bool {
+		for _, v := range vars {
+			if bs[i][v] != bs[j][v] {
+				return bs[i][v] < bs[j][v]
+			}
+		}
+		return false
+	})
+}

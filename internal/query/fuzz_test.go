@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the query parser never panics, and that every accepted
+// query roundtrips through its String rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"q(x) :- x = attica",
+		"q(a, b) :- color(a) = red, color(b) = blue, a S:SW:W:NW:N:NE:E:SE b",
+		"q(x, y) :- x {N, NW:N} y",
+		"q(x, y) :- not x S y",
+		"q(x) :- color(x) != red",
+		"q(x, y) :- pct(x NE y) >= 50",
+		"q(x, y) :- pct(x B y) = 100, x {N} y",
+		"q(x, y) :- pct(x NE:E y) >= 50",
+		"q() :-",
+		"q(x :- x = a",
+		"q(x) :- x $ y",
+		"q(x,y) :- x S:S y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", q.String(), s, err)
+		}
+		if q2.String() != q.String() {
+			t.Fatalf("String not a fixpoint: %q vs %q", q.String(), q2.String())
+		}
+	})
+}

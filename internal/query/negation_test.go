@@ -1,0 +1,111 @@
+package query
+
+import (
+	"testing"
+
+	"cardirect/internal/config"
+)
+
+func TestParseNegatedRelation(t *testing.T) {
+	q, err := Parse("q(x, y) :- not x S y, color(x) = red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, ok := q.Conds[0].(RelCond)
+	if !ok || !rc.Negated {
+		t.Fatalf("cond = %#v", q.Conds[0])
+	}
+	if rc.Left != "x" || rc.Right != "y" {
+		t.Errorf("vars = %s, %s", rc.Left, rc.Right)
+	}
+	// Roundtrip.
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", q.String(), err)
+	}
+	if q2.String() != q.String() {
+		t.Errorf("roundtrip %q vs %q", q2.String(), q.String())
+	}
+}
+
+func TestParseAttrNotEquals(t *testing.T) {
+	q, err := Parse("q(x) :- color(x) != red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, ok := q.Conds[0].(AttrCond)
+	if !ok || !ac.Negated {
+		t.Fatalf("cond = %#v", q.Conds[0])
+	}
+	if q.String() != "q(x) :- color(x) != red" {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func TestParseNegationErrors(t *testing.T) {
+	bad := []string{
+		"q(x, y) :- not x y",      // missing relation
+		"q(x, y) :- not S y",      // "not" must be followed by a variable then a relation
+		"q(x) :- color(x) !! red", // bad operator
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestEvalNegatedAttr(t *testing.T) {
+	img := config.Greece()
+	e, err := NewEvaluator(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.EvalString("q(x) :- color(x) != blue, color(x) != red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["x"] != "macedonia" {
+		t.Errorf("non-blue non-red = %v, want just macedonia", got)
+	}
+}
+
+func TestEvalNegatedRelation(t *testing.T) {
+	img := config.Greece()
+	e, err := NewEvaluator(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Red regions that do NOT surround pylos: everything red except
+	// peloponnesos.
+	got, err := e.EvalString(
+		"q(x, y) :- color(x) = red, y = pylos, not x S:SW:W:NW:N:NE:E:SE y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b["x"] == "peloponnesos" {
+			t.Errorf("peloponnesos surrounds pylos and must be excluded: %v", got)
+		}
+	}
+	if len(got) != 3 { // beotia, crete, sicily
+		t.Errorf("answers = %v, want 3 red non-surrounders", got)
+	}
+	// Negation with identical bindings: a region is B of itself, so
+	// "not x B y" with x = y = attica is empty…
+	none, err := e.EvalString("q(x, y) :- x = attica, y = attica, not x B y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("not x B x should fail for x=y: %v", none)
+	}
+	// …and "not x N y" holds.
+	some, err := e.EvalString("q(x, y) :- x = attica, y = attica, not x N y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 1 {
+		t.Errorf("not x N x should hold for x=y: %v", some)
+	}
+}

@@ -1,0 +1,309 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cardirect/internal/core"
+)
+
+// Parse parses a query in the concrete syntax
+//
+//	q(x, y) :- color(x) = red, x S:SW y, y = attica
+//
+// and checks it: head variables must be distinct, every condition may only
+// mention head variables, and relation conditions must use valid (possibly
+// disjunctive) cardinal direction relations.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.check(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("query: expected %v at offset %d, found %s", k, t.pos, describe(t))
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	// Head: name "(" var ("," var)* ")".
+	if _, err := p.expect(tokIdent); err != nil {
+		return nil, fmt.Errorf("query: missing query name: %w", err)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	for {
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		q.Vars = append(q.Vars, v.text)
+		t := p.next()
+		if t.kind == tokRParen {
+			break
+		}
+		if t.kind != tokComma {
+			return nil, fmt.Errorf("query: expected ',' or ')' in head at offset %d, found %s", t.pos, describe(t))
+		}
+	}
+	if _, err := p.expect(tokTurnstile); err != nil {
+		return nil, err
+	}
+	// Conditions.
+	for {
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		q.Conds = append(q.Conds, c)
+		t := p.next()
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokComma {
+			return nil, fmt.Errorf("query: expected ',' between conditions at offset %d, found %s", t.pos, describe(t))
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseCond() (Cond, error) {
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, fmt.Errorf("query: missing condition: %w", err)
+	}
+	// Quantitative condition: pct "(" var tile var ")" cmp number.
+	// "pct" is reserved in condition-leading position when followed by "(".
+	if first.text == "pct" && p.peek().kind == tokLParen {
+		return p.parsePctCond()
+	}
+	// Negated relation condition: "not" var relation var. "not" is a
+	// reserved word in condition-leading position.
+	if first.text == "not" && p.peek().kind == tokIdent {
+		left, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		rels, err := p.parseRelationSet()
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return RelCond{Left: left.text, Rels: rels, Right: right.text, Negated: true}, nil
+	}
+	switch p.peek().kind {
+	case tokLParen:
+		// Attribute condition: attr "(" var ")" ("=" | "!=") value.
+		p.next()
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		neg := false
+		switch op := p.next(); op.kind {
+		case tokEquals:
+		case tokNotEquals:
+			neg = true
+		default:
+			return nil, fmt.Errorf("query: expected '=' or '!=' at offset %d, found %s", op.pos, describe(op))
+		}
+		val, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return AttrCond{Attr: first.text, Var: v.text, Value: val.text, Negated: neg}, nil
+	case tokEquals:
+		// Binding: var "=" regionID.
+		p.next()
+		val, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return BindCond{Var: first.text, RegionID: val.text}, nil
+	case tokIdent, tokLBrace:
+		// Relation condition: var relation var.
+		rels, err := p.parseRelationSet()
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return RelCond{Left: first.text, Rels: rels, Right: right.text}, nil
+	default:
+		t := p.peek()
+		return nil, fmt.Errorf("query: cannot parse condition at offset %d near %s", t.pos, describe(t))
+	}
+}
+
+// parsePctCond parses the tail of pct "(" var tile var ")" cmp number.
+func (p *parser) parsePctCond() (Cond, error) {
+	p.next() // consume "("
+	left, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	tileTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := core.ParseRelation(tileTok.text)
+	if err != nil || !rel.SingleTile() {
+		return nil, fmt.Errorf("query: pct needs a single tile at offset %d, got %q", tileTok.pos, tileTok.text)
+	}
+	right, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	var op string
+	switch opTok.kind {
+	case tokCmp:
+		op = opTok.text
+	case tokEquals:
+		op = "="
+	default:
+		return nil, fmt.Errorf("query: expected a comparison after pct(…) at offset %d, found %s", opTok.pos, describe(opTok))
+	}
+	numTok, err := p.expect(tokNumber)
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseFloat(numTok.text, 64)
+	if err != nil {
+		return nil, fmt.Errorf("query: bad percentage %q: %w", numTok.text, err)
+	}
+	if v < 0 || v > 100 {
+		return nil, fmt.Errorf("query: percentage %g out of [0, 100]", v)
+	}
+	return PctCond{Left: left.text, Tile: rel.Tiles()[0], Right: right.text, Op: op, Value: v}, nil
+}
+
+// parseRelationSet parses either a single relation "B:S:SW" or a disjunction
+// "{N, NW:N}".
+func (p *parser) parseRelationSet() (core.RelationSet, error) {
+	if p.peek().kind == tokLBrace {
+		p.next()
+		var set core.RelationSet
+		for {
+			r, err := p.parseRelation()
+			if err != nil {
+				return set, err
+			}
+			set.Add(r)
+			t := p.next()
+			if t.kind == tokRBrace {
+				return set, nil
+			}
+			if t.kind != tokComma {
+				return set, fmt.Errorf("query: expected ',' or '}' in relation set at offset %d, found %s", t.pos, describe(t))
+			}
+		}
+	}
+	r, err := p.parseRelation()
+	if err != nil {
+		return core.RelationSet{}, err
+	}
+	return core.NewRelationSet(r), nil
+}
+
+// parseRelation parses tile (":" tile)*.
+func (p *parser) parseRelation() (core.Relation, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, err
+	}
+	parts := []string{t.text}
+	for p.peek().kind == tokColon {
+		p.next()
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return 0, err
+		}
+		parts = append(parts, t.text)
+	}
+	r, err := core.ParseRelation(strings.Join(parts, ":"))
+	if err != nil {
+		return 0, fmt.Errorf("query: %w", err)
+	}
+	return r, nil
+}
+
+// check performs the semantic validation of a parsed query.
+func (q *Query) check() error {
+	if len(q.Vars) == 0 {
+		return fmt.Errorf("query: head has no variables")
+	}
+	seen := map[string]bool{}
+	for _, v := range q.Vars {
+		if seen[v] {
+			return fmt.Errorf("query: duplicate head variable %q", v)
+		}
+		seen[v] = true
+	}
+	if len(q.Conds) == 0 {
+		return fmt.Errorf("query: no conditions")
+	}
+	for _, c := range q.Conds {
+		for _, v := range c.vars() {
+			if !seen[v] {
+				return fmt.Errorf("query: condition %v uses unknown variable %q", c, v)
+			}
+		}
+		switch cc := c.(type) {
+		case RelCond:
+			if cc.Left == cc.Right {
+				return fmt.Errorf("query: relation condition %v relates a variable to itself", c)
+			}
+			if cc.Rels.IsEmpty() {
+				return fmt.Errorf("query: relation condition %v has no relations", c)
+			}
+		case PctCond:
+			if cc.Left == cc.Right {
+				return fmt.Errorf("query: pct condition %v relates a variable to itself", c)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package query
+
+import (
+	"testing"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+func TestParsePctCond(t *testing.T) {
+	q, err := Parse("q(x, y) :- pct(x NE y) >= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, ok := q.Conds[0].(PctCond)
+	if !ok {
+		t.Fatalf("cond = %#v", q.Conds[0])
+	}
+	if pc.Tile != core.TileNE || pc.Op != ">=" || pc.Value != 50 {
+		t.Errorf("parsed = %+v", pc)
+	}
+	// Roundtrip through String.
+	q2, err := Parse(q.String())
+	if err != nil || q2.String() != q.String() {
+		t.Errorf("roundtrip %q: %v", q.String(), err)
+	}
+	// All operators parse.
+	for _, op := range []string{">=", "<=", ">", "<", "="} {
+		if _, err := Parse("q(x, y) :- pct(x B y) " + op + " 25.5"); err != nil {
+			t.Errorf("op %q: %v", op, err)
+		}
+	}
+}
+
+func TestParsePctErrors(t *testing.T) {
+	bad := []string{
+		"q(x, y) :- pct(x NE:E y) >= 50", // multi-tile
+		"q(x, y) :- pct(x Z y) >= 50",    // bad tile
+		"q(x, y) :- pct(x NE y) >= 150",  // out of range
+		"q(x, y) :- pct(x NE y) >= cat",  // non-number
+		"q(x, y) :- pct(x NE y) 50",      // missing comparison
+		"q(x) :- pct(x NE x) >= 50",      // self pair
+		"q(x, y) :- pct(x NE) >= 50",     // missing var
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+// pctImage builds a configuration where region "half" is exactly 50% NE and
+// 50% E of "ref" (the paper's Fig. 1c shape).
+func pctImage() *config.Image {
+	img := &config.Image{Name: "pct"}
+	ref := config.Region{ID: "ref", Color: "grey"}
+	ref.SetGeometry(geom.Rgn(geom.Poly(
+		geom.Pt(0, 6), geom.Pt(10, 6), geom.Pt(10, 0), geom.Pt(0, 0),
+	)))
+	half := config.Region{ID: "half", Color: "blue"}
+	half.SetGeometry(geom.Rgn(geom.Poly(
+		geom.Pt(12, 10), geom.Pt(14, 10), geom.Pt(14, 2), geom.Pt(12, 2),
+	)))
+	north := config.Region{ID: "north", Color: "blue"}
+	north.SetGeometry(geom.Rgn(geom.Poly(
+		geom.Pt(2, 9), geom.Pt(8, 9), geom.Pt(8, 7), geom.Pt(2, 7),
+	)))
+	img.Regions = append(img.Regions, ref, half, north)
+	return img
+}
+
+func TestEvalPctConditions(t *testing.T) {
+	e, err := NewEvaluator(pctImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly 50% NE.
+	got, err := e.EvalString("q(x, y) :- y = ref, pct(x NE y) = 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["x"] != "half" {
+		t.Errorf("= 50: %v", got)
+	}
+	// ≥ 50 NE also matches only "half" ("north" has 100% N, 0% NE).
+	got, err = e.EvalString("q(x, y) :- y = ref, pct(x NE y) >= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["x"] != "half" {
+		t.Errorf(">= 50: %v", got)
+	}
+	// > 50 matches nothing.
+	got, err = e.EvalString("q(x, y) :- y = ref, pct(x NE y) > 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("> 50: %v", got)
+	}
+	// 100% N picks "north".
+	got, err = e.EvalString("q(x, y) :- y = ref, pct(x N y) = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0]["x"] != "north" {
+		t.Errorf("N = 100: %v", got)
+	}
+	// < 1 in SW matches everything except ref itself (which is 100% B;
+	// its SW share is 0) — and ref too, then. All three regions qualify.
+	got, err = e.EvalString("q(x, y) :- y = ref, pct(x SW y) < 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Errorf("SW < 1: %v", got)
+	}
+	// Self pair: 100% B of itself.
+	got, err = e.EvalString("q(x, y) :- x = ref, y = ref, pct(x B y) = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("self B: %v", got)
+	}
+}
+
+func TestEvalPctWithDirectionCondition(t *testing.T) {
+	img := config.Greece()
+	e, err := NewEvaluator(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Fig. 12 quantitative statement: Attica is mostly NE+E of the
+	// Peloponnesos — its NE share alone is below 50 but above 30.
+	got, err := e.EvalString(
+		"q(x, y) :- x = attica, y = peloponnesos, x B:N:NE:E y, pct(x NE y) >= 30, pct(x NE y) < 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("combined qualitative+quantitative query: %v", got)
+	}
+}

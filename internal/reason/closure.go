@@ -1,0 +1,141 @@
+package reason
+
+import (
+	"fmt"
+	"sync"
+
+	"cardirect/internal/core"
+)
+
+// compoMemo caches Composition results; compositions recur heavily during
+// closure computation and the underlying pair enumeration is the expensive
+// part.
+var compoMemo sync.Map // [2]core.Relation → core.RelationSet
+
+func compositionMemo(r1, r2 core.Relation) core.RelationSet {
+	key := [2]core.Relation{r1, r2}
+	if v, ok := compoMemo.Load(key); ok {
+		return v.(core.RelationSet)
+	}
+	v := Composition(r1, r2)
+	compoMemo.Store(key, v)
+	return v
+}
+
+// Closure computes the algebraic closure of the network: a constraint
+// matrix over every ordered pair of variables, starting from the explicit
+// constraints (Universe elsewhere) and repeatedly pruned by
+//
+//   - composition: C[i][j] ⊆ comp(C[i][k], C[k][j]) for every k, and
+//   - converse:    every r in C[i][j] must have an inverse in C[j][i],
+//
+// until a fixpoint. The result maps ordered name pairs to the pruned sets.
+// ok is false when some pair becomes empty — the network is then certainly
+// inconsistent (the converse does not hold; closure is a sound filter, the
+// complete decision procedure is Solve).
+func (n *Network) Closure() (map[[2]string]core.RelationSet, bool) {
+	nv := len(n.names)
+	u := core.Universe()
+	c := make([]core.RelationSet, nv*nv)
+	for i := 0; i < nv; i++ {
+		for j := 0; j < nv; j++ {
+			if i != j {
+				c[i*nv+j] = u
+			}
+		}
+	}
+	for key, rs := range n.cons {
+		if key[0] == key[1] {
+			continue // self constraints are checked by Solve
+		}
+		c[key[0]*nv+key[1]] = c[key[0]*nv+key[1]].Intersect(rs)
+	}
+	isUniverse := func(s core.RelationSet) bool { return s.Equal(u) }
+	ok := true
+	changed := true
+	for changed && ok {
+		changed = false
+		// Converse pruning. A Universe opposite entry has no pruning power
+		// (every valid relation has a non-empty inverse), so skip those.
+		for i := 0; i < nv && ok; i++ {
+			for j := 0; j < nv && ok; j++ {
+				if i == j || isUniverse(c[j*nv+i]) {
+					continue
+				}
+				cur := c[i*nv+j]
+				pruned := cur
+				for _, r := range cur.Relations() {
+					if Inverse(r).Intersect(c[j*nv+i]).IsEmpty() {
+						pruned.Remove(r)
+					}
+				}
+				if !pruned.Equal(cur) {
+					c[i*nv+j] = pruned
+					changed = true
+					if pruned.IsEmpty() {
+						ok = false
+					}
+				}
+			}
+		}
+		// Composition pruning. Skip triangles with a Universe factor:
+		// composing with complete ignorance cannot prune.
+		for i := 0; i < nv && ok; i++ {
+			for k := 0; k < nv && ok; k++ {
+				if i == k || isUniverse(c[i*nv+k]) {
+					continue
+				}
+				for j := 0; j < nv && ok; j++ {
+					if j == i || j == k || isUniverse(c[k*nv+j]) {
+						continue
+					}
+					var comp core.RelationSet
+					for _, r1 := range c[i*nv+k].Relations() {
+						for _, r2 := range c[k*nv+j].Relations() {
+							comp = comp.Union(compositionMemo(r1, r2))
+						}
+					}
+					cur := c[i*nv+j]
+					pruned := cur.Intersect(comp)
+					if !pruned.Equal(cur) {
+						c[i*nv+j] = pruned
+						changed = true
+						if pruned.IsEmpty() {
+							ok = false
+						}
+					}
+				}
+			}
+		}
+	}
+	out := make(map[[2]string]core.RelationSet, nv*nv-nv)
+	for i := 0; i < nv; i++ {
+		for j := 0; j < nv; j++ {
+			if i != j {
+				out[[2]string{n.names[i], n.names[j]}] = c[i*nv+j]
+			}
+		}
+	}
+	return out, ok
+}
+
+// Entail returns the strongest relation set the network implies between the
+// ordered pair (x, y) — the closure entry for the pair. A Universe result
+// means the network says nothing about the pair; ok=false means the
+// variables are unknown or the closure detected inconsistency (the set is
+// then meaningless).
+func (n *Network) Entail(x, y string) (core.RelationSet, error) {
+	ix, okx := n.idx[x]
+	iy, oky := n.idx[y]
+	if !okx || !oky {
+		return core.RelationSet{}, fmt.Errorf("reason: unknown variable in Entail(%q, %q)", x, y)
+	}
+	if ix == iy {
+		return core.NewRelationSet(core.B), nil // a region is B of itself
+	}
+	closure, ok := n.Closure()
+	if !ok {
+		return core.RelationSet{}, fmt.Errorf("reason: network is inconsistent")
+	}
+	return closure[[2]string{x, y}], nil
+}

@@ -1,0 +1,161 @@
+package reason
+
+import (
+	"testing"
+
+	"cardirect/internal/core"
+)
+
+func TestClosureTransitiveChain(t *testing.T) {
+	n := NewNetwork()
+	n.ConstrainRel("a", "b", core.SW)
+	n.ConstrainRel("b", "c", core.SW)
+	closure, ok := n.Closure()
+	if !ok {
+		t.Fatal("consistent chain pruned to empty")
+	}
+	ac := closure[[2]string{"a", "c"}]
+	if ac.Len() != 1 || !ac.Contains(core.SW) {
+		t.Errorf("closure a→c = %v, want {SW}", ac)
+	}
+	// The converse direction gets the inverse.
+	ca := closure[[2]string{"c", "a"}]
+	if !ca.Contains(core.NE) || ca.Len() != 1 {
+		t.Errorf("closure c→a = %v, want {NE}", ca)
+	}
+}
+
+func TestClosureDetectsCycle(t *testing.T) {
+	n := NewNetwork()
+	n.ConstrainRel("a", "b", core.N)
+	n.ConstrainRel("b", "c", core.N)
+	n.ConstrainRel("c", "a", core.N)
+	if _, ok := n.Closure(); ok {
+		t.Error("N-cycle should be pruned to empty by closure")
+	}
+}
+
+func TestClosureLeavesUnrelatedAtUniverse(t *testing.T) {
+	n := NewNetwork()
+	n.ConstrainRel("a", "b", core.N)
+	n.AddVariable("z")
+	closure, ok := n.Closure()
+	if !ok {
+		t.Fatal("unexpected inconsistency")
+	}
+	az := closure[[2]string{"a", "z"}]
+	if az.Len() != 511 {
+		t.Errorf("a→z pruned to %d relations; nothing relates them", az.Len())
+	}
+}
+
+func TestEntail(t *testing.T) {
+	n := NewNetwork()
+	n.ConstrainRel("a", "b", core.SW)
+	n.ConstrainRel("b", "c", core.SW)
+	got, err := n.Entail("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || !got.Contains(core.SW) {
+		t.Errorf("Entail(a,c) = %v, want {SW}", got)
+	}
+	// Self pair.
+	self, err := n.Entail("a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Len() != 1 || !self.Contains(core.B) {
+		t.Errorf("Entail(a,a) = %v, want {B}", self)
+	}
+	// Unknown variable.
+	if _, err := n.Entail("a", "nope"); err == nil {
+		t.Error("unknown variable should error")
+	}
+	// Inconsistent network.
+	bad := NewNetwork()
+	bad.ConstrainRel("x", "y", core.S)
+	bad.ConstrainRel("y", "x", core.S)
+	if _, err := bad.Entail("x", "y"); err == nil {
+		t.Error("inconsistent network should error")
+	}
+}
+
+// TestClosureSoundAgainstSolve: on satisfiable networks, every definite
+// relation realisable by Solve's witness must survive closure — closure may
+// only remove unrealisable relations.
+func TestClosureSoundAgainstSolve(t *testing.T) {
+	nets := []func(*Network){
+		func(n *Network) {
+			n.ConstrainRel("a", "b", core.N)
+			n.ConstrainRel("b", "c", core.E)
+		},
+		func(n *Network) {
+			n.Constrain("a", "b", core.NewRelationSet(core.N, core.S))
+			n.ConstrainRel("b", "a", core.N)
+		},
+		func(n *Network) {
+			r, _ := core.ParseRelation("B:W:NW:N")
+			n.ConstrainRel("a", "b", r)
+			n.ConstrainRel("c", "b", core.E)
+		},
+	}
+	for i, build := range nets {
+		n := NewNetwork()
+		build(n)
+		w, err := n.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatalf("net %d: %v", i, err)
+		}
+		if w == nil {
+			t.Fatalf("net %d should be satisfiable", i)
+		}
+		closure, ok := n.Closure()
+		if !ok {
+			t.Fatalf("net %d: closure killed a satisfiable network", i)
+		}
+		// The witness realises concrete relations; each must be in the
+		// closure entry of its pair.
+		for pair := range closure {
+			x, y := pair[0], pair[1]
+			rel, err := core.ComputeCDR(w.Regions[x], w.Regions[y])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !closure[pair].Contains(rel) {
+				t.Errorf("net %d: closure %v→%v = %v misses realised %v",
+					i, x, y, closure[pair], rel)
+			}
+		}
+	}
+}
+
+func TestClosureTightensDisjunction(t *testing.T) {
+	// a {N, S} b with b N a: closure must discard the N disjunct.
+	n := NewNetwork()
+	n.Constrain("a", "b", core.NewRelationSet(core.N, core.S))
+	n.ConstrainRel("b", "a", core.N)
+	closure, ok := n.Closure()
+	if !ok {
+		t.Fatal("satisfiable network killed")
+	}
+	ab := closure[[2]string{"a", "b"}]
+	if ab.Contains(core.N) {
+		t.Errorf("closure kept the impossible N disjunct: %v", ab)
+	}
+	if !ab.Contains(core.S) {
+		t.Errorf("closure lost the realisable S disjunct: %v", ab)
+	}
+}
+
+func BenchmarkClosure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := NewNetwork()
+		n.ConstrainRel("a", "b", core.SW)
+		n.ConstrainRel("b", "c", core.SW)
+		n.ConstrainRel("c", "d", core.N)
+		if _, ok := n.Closure(); !ok {
+			b.Fatal("unexpected inconsistency")
+		}
+	}
+}

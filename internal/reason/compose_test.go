@@ -1,0 +1,126 @@
+package reason
+
+import (
+	"math/rand"
+	"testing"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+func TestCompositionBasicChains(t *testing.T) {
+	// a SW b, b SW c ⇒ a SW c (strict corner order composes transitively).
+	got := Composition(core.SW, core.SW)
+	if !got.Contains(core.SW) {
+		t.Errorf("SW∘SW misses SW: %v", got)
+	}
+	if got.Len() != 1 {
+		t.Errorf("SW∘SW = %v, want exactly {SW}", got)
+	}
+	// a N b, b S c leaves a almost anywhere: the result must be a large
+	// disjunction including N, B and S options.
+	ns := Composition(core.N, core.S)
+	for _, r := range []core.Relation{core.N, core.B, core.S} {
+		if !ns.Contains(r) {
+			t.Errorf("N∘S misses %v", r)
+		}
+	}
+	// a B b, b B c: a inside mbb(b) ⊆ ... not necessarily inside mbb(c),
+	// but B must be possible.
+	if !Composition(core.B, core.B).Contains(core.B) {
+		t.Error("B∘B misses B")
+	}
+}
+
+func TestCompositionNorthChain(t *testing.T) {
+	// a N b, b N c: x-wise a's span is inside b's, which is inside c's, so
+	// a cannot stick out west or east of c; y-wise a stays strictly north.
+	// The composition is therefore exactly {N}.
+	got := Composition(core.N, core.N)
+	if !got.Contains(core.N) || got.Len() != 1 {
+		t.Errorf("N∘N = %v, want exactly {N}", got)
+	}
+	// a NW b, b NW c leaves a north-west of c but x can also end up
+	// north (a west of b's box, b west of c's box ⇒ a west of c's east
+	// line but a's box can still overlap c's x-span? no — a2 ≤ b1 ≤ …).
+	gotNW := Composition(core.NW, core.NW)
+	if !gotNW.Contains(core.NW) || gotNW.Len() != 1 {
+		t.Errorf("NW∘NW = %v, want exactly {NW}", gotNW)
+	}
+}
+
+func TestCompositionMonteCarloSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	g := workload.New(515)
+	miss := 0
+	for trial := 0; trial < 250; trial++ {
+		mk := func() geom.Region {
+			cx := -10 + rng.Float64()*20
+			cy := -10 + rng.Float64()*20
+			return geom.Rgn(g.StarPolygon(cx, cy, 1, 4, 3+rng.Intn(8)))
+		}
+		a, b, c := mk(), mk(), mk()
+		r1, err := core.ComputeCDR(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := core.ComputeCDR(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3, err := core.ComputeCDR(a, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Composition(r1, r2).Contains(r3) {
+			miss++
+			t.Errorf("trial %d: comp(%v, %v) misses observed %v", trial, r1, r2, r3)
+		}
+	}
+	if miss > 0 {
+		t.Fatalf("%d soundness violations", miss)
+	}
+}
+
+func TestCompositionEdgeCases(t *testing.T) {
+	if !Composition(0, core.N).IsEmpty() {
+		t.Error("comp(∅, N) should be empty")
+	}
+	if !Composition(core.N, 0).IsEmpty() {
+		t.Error("comp(N, ∅) should be empty")
+	}
+}
+
+func TestCompositionSets(t *testing.T) {
+	s1 := core.NewRelationSet(core.SW)
+	s2 := core.NewRelationSet(core.SW, core.S)
+	got := CompositionSets(s1, s2)
+	if !got.Contains(core.SW) {
+		t.Errorf("missing SW: %v", got)
+	}
+	// Every member must come from one of the pairwise compositions.
+	union := Composition(core.SW, core.SW).Union(Composition(core.SW, core.S))
+	if !got.Equal(union) {
+		t.Error("CompositionSets != union of pairwise compositions")
+	}
+}
+
+// Property: composition respects converse — if R3 ∈ comp(R1, R2) is
+// realisable as (a,c), then some inverse of R3 must be in
+// comp(inv-members of R2, inv-members of R1) — checked on a structured
+// sample (full check is cubic in 511).
+func TestCompositionConverseSample(t *testing.T) {
+	sample := []core.Relation{core.S, core.B, mustRel(t, "NE:E"), mustRel(t, "B:W")}
+	for _, r1 := range sample {
+		for _, r2 := range sample {
+			comp := Composition(r1, r2)
+			inv := CompositionSets(InverseSet(core.NewRelationSet(r2)), InverseSet(core.NewRelationSet(r1)))
+			for _, r3 := range comp.Relations() {
+				if Inverse(r3).Intersect(inv).IsEmpty() {
+					t.Errorf("comp(%v,%v) member %v has no converse in comp(inv, inv)", r1, r2, r3)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"math"
+
+	"cardirect/internal/geom"
+)
+
+// MinDistance returns the minimum Euclidean distance between two regions:
+// zero when they share area or touch, otherwise the smallest distance
+// between their boundaries.
+func MinDistance(a, b geom.Region) float64 {
+	if BoundariesTouch(a, b) {
+		return 0
+	}
+	// Containment without boundary contact also means distance zero.
+	if containsAny(a, b) || containsAny(b, a) {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, pa := range a {
+		for i := 0; i < pa.NumEdges(); i++ {
+			ea := pa.Edge(i)
+			for _, pb := range b {
+				for j := 0; j < pb.NumEdges(); j++ {
+					if d := segmentDistance(ea, pb.Edge(j)); d < best {
+						best = d
+						if best == 0 {
+							return 0
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// containsAny reports whether any vertex of inner lies inside outer — with
+// non-touching boundaries that implies the component is fully inside.
+func containsAny(outer, inner geom.Region) bool {
+	for _, p := range inner {
+		if outer.Contains(p[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentDistance returns the minimum distance between two segments.
+func segmentDistance(s, u geom.Segment) float64 {
+	if geom.SegmentsIntersect(s, u) {
+		return 0
+	}
+	return math.Min(
+		math.Min(pointSegmentDistance(s.A, u), pointSegmentDistance(s.B, u)),
+		math.Min(pointSegmentDistance(u.A, s), pointSegmentDistance(u.B, s)),
+	)
+}
+
+// pointSegmentDistance returns the distance from p to the closed segment s.
+func pointSegmentDistance(p geom.Point, s geom.Segment) float64 {
+	d := s.B.Sub(s.A)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return p.Dist(s.A)
+	}
+	t := p.Sub(s.A).Dot(d) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(s.A.Add(d.Scale(t)))
+}
+
+// Distance is a qualitative distance relation in the style of Frank [3]:
+// the continuous minimum distance quantised against a reference scale.
+type Distance uint8
+
+// The five distance classes.
+const (
+	DistTouch Distance = iota // distance zero (touching or overlapping)
+	DistVeryClose
+	DistClose
+	DistMedium
+	DistFar
+)
+
+var distNames = [...]string{"touch", "very-close", "close", "medium", "far"}
+
+// String returns the class name.
+func (d Distance) String() string {
+	if int(d) < len(distNames) {
+		return distNames[d]
+	}
+	return "Distance(?)"
+}
+
+// ClassifyDistance quantises MinDistance(a, b) against the diagonal of the
+// reference region's bounding box (the natural scale of the configuration):
+// touch (= 0), very-close (< ¼ diag), close (< ½), medium (< 1), far (≥ 1).
+func ClassifyDistance(a, b geom.Region) Distance {
+	d := MinDistance(a, b)
+	if d == 0 {
+		return DistTouch
+	}
+	box := b.BoundingBox()
+	diag := math.Hypot(box.Width(), box.Height())
+	if diag == 0 {
+		return DistFar
+	}
+	switch r := d / diag; {
+	case r < 0.25:
+		return DistVeryClose
+	case r < 0.5:
+		return DistClose
+	case r < 1:
+		return DistMedium
+	default:
+		return DistFar
+	}
+}

@@ -1,0 +1,200 @@
+// Package topo implements the spatial relations the paper's future-work
+// list (§5, item 2) proposes combining with cardinal directions:
+// topological relations in the style of Egenhofer / RCC-8 (the paper's
+// reference [2]) and qualitative distance relations in the style of Frank
+// (reference [3]), both for the same REG* regions the direction algorithms
+// operate on.
+//
+// The topological classification rests on an exact region-overlay area
+// computed with a vertical-slab decomposition: the plane is cut at every
+// vertex x-coordinate of both regions and at every proper edge-crossing
+// x-coordinate, so inside one slab every boundary is a non-crossing linear
+// function of x and each region's material is a stack of trapezoids;
+// pairwise trapezoid intersection integrates exactly.
+package topo
+
+import (
+	"sort"
+
+	"cardirect/internal/geom"
+)
+
+// IntersectionArea returns the exact area of a ∩ b for two REG* regions
+// (sets of simple polygons with disjoint interiors, as validated by
+// geom.Region.Validate).
+func IntersectionArea(a, b geom.Region) float64 {
+	if !a.BoundingBox().Intersects(b.BoundingBox()) {
+		return 0
+	}
+	xs := cutXs(a, b)
+	var area float64
+	for i := 0; i+1 < len(xs); i++ {
+		x1, x2 := xs[i], xs[i+1]
+		if x2 <= x1 {
+			continue
+		}
+		sa := slabIntervals(a, x1, x2)
+		sb := slabIntervals(b, x1, x2)
+		if len(sa) == 0 || len(sb) == 0 {
+			continue
+		}
+		w := x2 - x1
+		for _, ia := range sa {
+			for _, ib := range sb {
+				// Overlap is linear in x within the slab; evaluate at both
+				// ends and clamp (a crossing exactly on a slab boundary can
+				// give a vanishing endpoint).
+				o1 := min2(ia.hi1, ib.hi1) - max2(ia.lo1, ib.lo1)
+				o2 := min2(ia.hi2, ib.hi2) - max2(ia.lo2, ib.lo2)
+				if o1 < 0 {
+					o1 = 0
+				}
+				if o2 < 0 {
+					o2 = 0
+				}
+				if o1 > 0 || o2 > 0 {
+					area += (o1 + o2) / 2 * w
+				}
+			}
+		}
+	}
+	return area
+}
+
+// interval is one material band of a region within a slab: lo/hi at the
+// slab's left (1) and right (2) boundaries; all four vary linearly between.
+type interval struct {
+	lo1, hi1, lo2, hi2 float64
+}
+
+// cutXs returns the sorted distinct slab boundaries: every vertex x of both
+// regions plus every proper edge-crossing x between them.
+func cutXs(a, b geom.Region) []float64 {
+	var xs []float64
+	for _, r := range []geom.Region{a, b} {
+		for _, p := range r {
+			for _, v := range p {
+				xs = append(xs, v.X)
+			}
+		}
+	}
+	// Proper crossings between the two regions' boundaries.
+	for _, pa := range a {
+		for i := 0; i < pa.NumEdges(); i++ {
+			ea := pa.Edge(i)
+			for _, pb := range b {
+				for j := 0; j < pb.NumEdges(); j++ {
+					eb := pb.Edge(j)
+					if x, ok := crossingX(ea, eb); ok {
+						xs = append(xs, x)
+					}
+				}
+			}
+		}
+	}
+	sort.Float64s(xs)
+	out := xs[:0]
+	for _, x := range xs {
+		if len(out) == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// crossingX returns the x-coordinate where the interiors of two segments
+// properly cross, when they do.
+func crossingX(s, u geom.Segment) (float64, bool) {
+	r := s.B.Sub(s.A)
+	d := u.B.Sub(u.A)
+	denom := r.Cross(d)
+	if denom == 0 {
+		return 0, false // parallel or collinear: no transversal crossing
+	}
+	t := u.A.Sub(s.A).Cross(d) / denom
+	w := u.A.Sub(s.A).Cross(r) / denom
+	if t <= 0 || t >= 1 || w <= 0 || w >= 1 {
+		return 0, false
+	}
+	return s.A.X + t*r.X, true
+}
+
+// slabIntervals returns the region's material bands within the slab
+// [x1, x2], computed by the even–odd rule on the edges spanning the slab.
+func slabIntervals(r geom.Region, x1, x2 float64) []interval {
+	type crossing struct {
+		y1, y2, ym float64
+	}
+	var cs []crossing
+	for _, p := range r {
+		for i := 0; i < p.NumEdges(); i++ {
+			e := p.Edge(i)
+			lo, hi := minmax2(e.A.X, e.B.X)
+			if lo > x1 || hi < x2 || e.A.X == e.B.X {
+				continue
+			}
+			t1 := (x1 - e.A.X) / (e.B.X - e.A.X)
+			t2 := (x2 - e.A.X) / (e.B.X - e.A.X)
+			y1 := e.A.Y + t1*(e.B.Y-e.A.Y)
+			y2 := e.A.Y + t2*(e.B.Y-e.A.Y)
+			cs = append(cs, crossing{y1: y1, y2: y2, ym: (y1 + y2) / 2})
+		}
+	}
+	if len(cs) < 2 {
+		return nil
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ym < cs[j].ym })
+	out := make([]interval, 0, len(cs)/2)
+	for k := 0; k+1 < len(cs); k += 2 {
+		out = append(out, interval{
+			lo1: cs[k].y1, hi1: cs[k+1].y1,
+			lo2: cs[k].y2, hi2: cs[k+1].y2,
+		})
+	}
+	return out
+}
+
+// BoundariesTouch reports whether the boundaries of a and b share at least
+// one point (including crossings and tangencies).
+func BoundariesTouch(a, b geom.Region) bool {
+	if !a.BoundingBox().Intersects(b.BoundingBox()) {
+		return false
+	}
+	for _, pa := range a {
+		for i := 0; i < pa.NumEdges(); i++ {
+			ea := pa.Edge(i)
+			for _, pb := range b {
+				if !pa.BoundingBox().Intersects(pb.BoundingBox()) {
+					continue
+				}
+				for j := 0; j < pb.NumEdges(); j++ {
+					if geom.SegmentsIntersect(ea, pb.Edge(j)) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minmax2(a, b float64) (float64, float64) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}

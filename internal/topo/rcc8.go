@@ -1,0 +1,91 @@
+package topo
+
+import "cardirect/internal/geom"
+
+// RCC8 is one of the eight base relations of the Region Connection Calculus
+// (equivalently Egenhofer's 9-intersection relations for regions), the
+// topological vocabulary of the paper's reference [2].
+type RCC8 uint8
+
+// The eight base relations, a RCC8 b.
+const (
+	DC    RCC8 = iota // disconnected: no shared point
+	EC                // externally connected: boundaries touch, interiors disjoint
+	PO                // partial overlap
+	EQ                // equal
+	TPP               // a tangential proper part of b (boundaries touch)
+	NTPP              // a non-tangential proper part of b
+	TPPi              // b tangential proper part of a
+	NTPPi             // b non-tangential proper part of a
+)
+
+var rcc8Names = [...]string{"DC", "EC", "PO", "EQ", "TPP", "NTPP", "TPPi", "NTPPi"}
+
+// String returns the relation's RCC-8 mnemonic.
+func (r RCC8) String() string {
+	if int(r) < len(rcc8Names) {
+		return rcc8Names[r]
+	}
+	return "RCC8(?)"
+}
+
+// Converse returns the relation of b with respect to a.
+func (r RCC8) Converse() RCC8 {
+	switch r {
+	case TPP:
+		return TPPi
+	case NTPP:
+		return NTPPi
+	case TPPi:
+		return TPP
+	case NTPPi:
+		return NTPP
+	default:
+		return r // DC, EC, PO, EQ are symmetric
+	}
+}
+
+// Classify determines the RCC-8 relation between two valid REG* regions
+// using the exact overlay area and boundary-contact tests. Area equalities
+// are judged with a relative tolerance of relEps (pass 0 for the default
+// 1e-9) — unavoidable when areas come from floating-point geometry.
+func Classify(a, b geom.Region, relEps float64) RCC8 {
+	if relEps <= 0 {
+		relEps = 1e-9
+	}
+	areaA := a.Area()
+	areaB := b.Area()
+	inter := IntersectionArea(a, b)
+	eps := relEps * max2(areaA, areaB)
+	touch := BoundariesTouch(a, b)
+
+	switch {
+	case inter <= eps:
+		if touch {
+			return EC
+		}
+		return DC
+	case approx(inter, areaA, eps) && approx(inter, areaB, eps):
+		return EQ
+	case approx(inter, areaA, eps): // a ⊆ b
+		if touch {
+			return TPP
+		}
+		return NTPP
+	case approx(inter, areaB, eps): // b ⊆ a
+		if touch {
+			return TPPi
+		}
+		return NTPPi
+	default:
+		return PO
+	}
+}
+
+func approx(x, y, eps float64) bool {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

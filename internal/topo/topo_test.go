@@ -1,0 +1,209 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+func bx(minX, minY, maxX, maxY float64) geom.Region {
+	return workload.BoxRegion(minX, minY, maxX, maxY)
+}
+
+func TestIntersectionAreaBoxes(t *testing.T) {
+	cases := []struct {
+		a, b geom.Region
+		want float64
+	}{
+		{bx(0, 0, 4, 4), bx(2, 2, 6, 6), 4},     // corner overlap
+		{bx(0, 0, 4, 4), bx(10, 10, 12, 12), 0}, // disjoint
+		{bx(0, 0, 4, 4), bx(4, 0, 8, 4), 0},     // edge-touching
+		{bx(0, 0, 8, 8), bx(2, 2, 4, 4), 4},     // containment
+		{bx(0, 0, 4, 4), bx(0, 0, 4, 4), 16},    // equal
+		{bx(0, 0, 4, 4), bx(1, -2, 3, 6), 8},    // vertical band through
+	}
+	for i, c := range cases {
+		got := IntersectionArea(c.a, c.b)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("case %d: area = %v, want %v", i, got, c.want)
+		}
+		// Symmetry.
+		if got2 := IntersectionArea(c.b, c.a); math.Abs(got2-got) > 1e-9 {
+			t.Errorf("case %d: asymmetric: %v vs %v", i, got, got2)
+		}
+	}
+}
+
+func TestIntersectionAreaTriangles(t *testing.T) {
+	// Two triangles overlapping in a quadrilateral with a known area:
+	// right triangle (0,0),(4,0),(0,4) and the box [1,1]×[2,2]… simpler:
+	// triangle ∩ box computed analytically.
+	tri := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(0, 4), geom.Pt(4, 0)))
+	box := bx(1, 1, 2, 2)
+	// Inside the triangle, the hypotenuse is x + y = 4; the whole box
+	// satisfies x+y ≤ 4 except the corner above x+y=4? At (2,2): x+y=4 —
+	// on the line. So box ⊆ triangle; intersection = box area = 1.
+	if got := IntersectionArea(tri, box); math.Abs(got-1) > 1e-9 {
+		t.Errorf("tri ∩ box = %v, want 1", got)
+	}
+	// Box sticking out: [3,3]×[1,2] has x+y ranging 4..5 → only the
+	// triangle's boundary grazes it; area 0.
+	out := bx(3, 1, 4, 2)
+	if got := IntersectionArea(tri, out); got > 1e-9 {
+		t.Errorf("grazing box area = %v, want 0", got)
+	}
+	// A genuinely cut box: [2,3]×[0,2]: region x∈[2,3], y∈[0,2], inside
+	// triangle where y < 4−x → full strip for y ≤ 1 (at x=3) … integral:
+	// ∫_{x=2}^{3} min(2, 4−x) dy dx = ∫ (4−x ≥ 2 ? 2 : 4−x) = at x∈[2,3]:
+	// 4−x ∈ [1,2] → area = ∫_{2}^{3} (4−x) dx = [4x − x²/2] = (12−4.5)−(8−2) = 1.5.
+	cut := bx(2, 0, 3, 2)
+	if got := IntersectionArea(tri, cut); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("cut box area = %v, want 1.5", got)
+	}
+}
+
+func TestIntersectionAreaMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := workload.New(12)
+	for trial := 0; trial < 40; trial++ {
+		a := geom.Rgn(g.StarPolygon(rng.Float64()*4, rng.Float64()*4, 1, 4, 3+rng.Intn(8)))
+		b := geom.Rgn(g.StarPolygon(rng.Float64()*4, rng.Float64()*4, 1, 4, 3+rng.Intn(8)))
+		got := IntersectionArea(a, b)
+		// Monte-Carlo estimate over the bbox intersection.
+		w := a.BoundingBox().Union(b.BoundingBox())
+		const n = 60000
+		hits := 0
+		for i := 0; i < n; i++ {
+			p := geom.Pt(w.MinX+rng.Float64()*w.Width(), w.MinY+rng.Float64()*w.Height())
+			if a.Contains(p) && b.Contains(p) {
+				hits++
+			}
+		}
+		est := float64(hits) / n * w.Area()
+		tol := 0.05*math.Max(got, est) + 0.05
+		if math.Abs(got-est) > tol {
+			t.Fatalf("trial %d: exact %v vs MC %v", trial, got, est)
+		}
+	}
+}
+
+func TestBoundariesTouch(t *testing.T) {
+	if BoundariesTouch(bx(0, 0, 2, 2), bx(5, 5, 6, 6)) {
+		t.Error("disjoint boxes touch")
+	}
+	if !BoundariesTouch(bx(0, 0, 2, 2), bx(2, 0, 4, 2)) {
+		t.Error("edge-sharing boxes should touch")
+	}
+	if !BoundariesTouch(bx(0, 0, 2, 2), bx(2, 2, 4, 4)) {
+		t.Error("corner-touching boxes should touch")
+	}
+	if !BoundariesTouch(bx(0, 0, 4, 4), bx(2, 2, 6, 6)) {
+		t.Error("overlapping boxes' boundaries cross")
+	}
+	if BoundariesTouch(bx(0, 0, 8, 8), bx(2, 2, 4, 4)) {
+		t.Error("strictly-contained box must not touch")
+	}
+}
+
+func TestRCC8Classification(t *testing.T) {
+	cases := []struct {
+		a, b geom.Region
+		want RCC8
+	}{
+		{bx(0, 0, 2, 2), bx(5, 5, 6, 6), DC},
+		{bx(0, 0, 2, 2), bx(2, 0, 4, 2), EC},
+		{bx(0, 0, 4, 4), bx(2, 2, 6, 6), PO},
+		{bx(0, 0, 4, 4), bx(0, 0, 4, 4), EQ},
+		{bx(2, 2, 4, 4), bx(0, 0, 8, 8), NTPP},
+		{bx(0, 2, 2, 4), bx(0, 0, 8, 8), TPP}, // shares the west boundary
+		{bx(0, 0, 8, 8), bx(2, 2, 4, 4), NTPPi},
+		{bx(0, 0, 8, 8), bx(0, 2, 2, 4), TPPi},
+	}
+	for i, c := range cases {
+		got := Classify(c.a, c.b, 0)
+		if got != c.want {
+			t.Errorf("case %d: %v, want %v", i, got, c.want)
+		}
+		// Converse coherence.
+		back := Classify(c.b, c.a, 0)
+		if back != c.want.Converse() {
+			t.Errorf("case %d: converse %v, want %v", i, back, c.want.Converse())
+		}
+	}
+}
+
+func TestRCC8ConverseInvolution(t *testing.T) {
+	for r := DC; r <= NTPPi; r++ {
+		if r.Converse().Converse() != r {
+			t.Errorf("converse not involutive for %v", r)
+		}
+		if r.String() == "RCC8(?)" {
+			t.Errorf("missing name for %d", r)
+		}
+	}
+}
+
+func TestMinDistance(t *testing.T) {
+	// Horizontal gap of 3.
+	if got := MinDistance(bx(0, 0, 2, 2), bx(5, 0, 7, 2)); math.Abs(got-3) > 1e-12 {
+		t.Errorf("gap distance = %v, want 3", got)
+	}
+	// Diagonal gap: closest corners (2,2)-(5,6) → 5.
+	if got := MinDistance(bx(0, 0, 2, 2), bx(5, 6, 7, 8)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("diagonal distance = %v, want 5", got)
+	}
+	// Touching and overlapping → 0.
+	if got := MinDistance(bx(0, 0, 2, 2), bx(2, 0, 4, 2)); got != 0 {
+		t.Errorf("touching distance = %v", got)
+	}
+	if got := MinDistance(bx(0, 0, 4, 4), bx(2, 2, 6, 6)); got != 0 {
+		t.Errorf("overlap distance = %v", got)
+	}
+	// Strict containment → 0 (no boundary contact).
+	if got := MinDistance(bx(2, 2, 4, 4), bx(0, 0, 8, 8)); got != 0 {
+		t.Errorf("containment distance = %v", got)
+	}
+}
+
+func TestClassifyDistance(t *testing.T) {
+	ref := bx(0, 0, 8, 6) // diag 10
+	cases := []struct {
+		a    geom.Region
+		want Distance
+	}{
+		{bx(2, 2, 4, 4), DistTouch},
+		{bx(9, 0, 10, 6), DistVeryClose}, // gap 1 < 2.5
+		{bx(11, 0, 12, 6), DistClose},    // gap 3 ∈ [2.5, 5)
+		{bx(14, 0, 15, 6), DistMedium},   // gap 6 ∈ [5, 10)
+		{bx(30, 0, 31, 6), DistFar},      // gap 22 ≥ 10
+	}
+	for i, c := range cases {
+		if got := ClassifyDistance(c.a, ref); got != c.want {
+			t.Errorf("case %d: %v, want %v", i, got, c.want)
+		}
+	}
+	if DistTouch.String() != "touch" || DistFar.String() != "far" {
+		t.Error("distance names wrong")
+	}
+}
+
+// Property: intersection area is bounded by both areas, symmetric, and
+// exact for self-intersection.
+func TestIntersectionAreaProperties(t *testing.T) {
+	g := workload.New(55)
+	for trial := 0; trial < 60; trial++ {
+		a := geom.Rgn(g.StarPolygon(float64(trial%7), float64(trial%5), 1, 3, 5+trial%6))
+		b := geom.Rgn(g.StarPolygon(float64(trial%4)+1, float64(trial%6), 1, 3, 4+trial%7))
+		ab := IntersectionArea(a, b)
+		if ab < -1e-9 || ab > math.Min(a.Area(), b.Area())+1e-9 {
+			t.Fatalf("trial %d: area %v out of bounds [0, %v]", trial, ab, math.Min(a.Area(), b.Area()))
+		}
+		self := IntersectionArea(a, a)
+		if math.Abs(self-a.Area()) > 1e-9*math.Max(1, a.Area()) {
+			t.Fatalf("trial %d: self-intersection %v != area %v", trial, self, a.Area())
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload generates synthetic REG* regions for tests, examples and
+// the experiment harness: random star-shaped and convex polygons with exact
+// edge counts (for the linear-scaling experiments E4–E7), multi-component
+// regions, country-like regions with islands and enclave holes (the
+// motivating shapes of the paper's §2: "countries are made up of separations
+// … and holes"), and reference/primary region pairs at controlled relative
+// placements.
+//
+// All generation is driven by an explicit seed, so every experiment is
+// reproducible run-to-run.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cardirect/internal/geom"
+)
+
+// Generator produces deterministic random workloads.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a generator seeded with the given value; equal seeds produce
+// identical workloads.
+func New(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Float in [lo, hi).
+func (g *Generator) uniform(lo, hi float64) float64 {
+	return lo + g.rng.Float64()*(hi-lo)
+}
+
+// StarPolygon returns a simple polygon with exactly n ≥ 3 edges: vertices at
+// strictly increasing jittered angles around (cx, cy) with radii drawn from
+// [rMin, rMax], normalised clockwise. Star-shapedness about the centre
+// guarantees simplicity.
+func (g *Generator) StarPolygon(cx, cy, rMin, rMax float64, n int) geom.Polygon {
+	if n < 3 {
+		panic(fmt.Sprintf("workload: StarPolygon needs n ≥ 3, got %d", n))
+	}
+	if rMin <= 0 || rMax < rMin {
+		panic(fmt.Sprintf("workload: bad radius range [%g, %g]", rMin, rMax))
+	}
+	p := make(geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * (float64(i) + 0.1 + 0.8*g.rng.Float64()) / float64(n)
+		r := g.uniform(rMin, rMax)
+		p[i] = geom.Pt(cx+r*math.Cos(th), cy+r*math.Sin(th))
+	}
+	return p.Clockwise()
+}
+
+// ConvexPolygon returns a convex polygon with exactly n ≥ 3 edges inscribed
+// in the circle of radius r around (cx, cy): jittered angles, fixed radius.
+func (g *Generator) ConvexPolygon(cx, cy, r float64, n int) geom.Polygon {
+	if n < 3 {
+		panic(fmt.Sprintf("workload: ConvexPolygon needs n ≥ 3, got %d", n))
+	}
+	p := make(geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * (float64(i) + 0.05 + 0.9*g.rng.Float64()) / float64(n)
+		p[i] = geom.Pt(cx+r*math.Cos(th), cy+r*math.Sin(th))
+	}
+	return p.Clockwise()
+}
+
+// Box returns an axis-aligned rectangle polygon.
+func Box(minX, minY, maxX, maxY float64) geom.Polygon {
+	return geom.Poly(
+		geom.Pt(minX, maxY), geom.Pt(maxX, maxY), geom.Pt(maxX, minY), geom.Pt(minX, minY),
+	)
+}
+
+// BoxRegion returns a single-box region.
+func BoxRegion(minX, minY, maxX, maxY float64) geom.Region {
+	return geom.Rgn(Box(minX, minY, maxX, maxY))
+}
+
+// Region returns a REG* region of nComponents disjoint star polygons whose
+// centres are spread over the window. Component radii are capped so that
+// components drawn in distinct grid cells cannot overlap.
+func (g *Generator) Region(window geom.Rect, nComponents, edgesPerComponent int) geom.Region {
+	if nComponents < 1 {
+		panic("workload: Region needs at least one component")
+	}
+	cells := int(math.Ceil(math.Sqrt(float64(nComponents))))
+	cw := window.Width() / float64(cells)
+	ch := window.Height() / float64(cells)
+	rMax := 0.45 * math.Min(cw, ch)
+	rMin := 0.25 * rMax
+	// Choose distinct cells.
+	perm := g.rng.Perm(cells * cells)[:nComponents]
+	out := make(geom.Region, 0, nComponents)
+	for _, cell := range perm {
+		cx := window.MinX + (float64(cell%cells)+0.5)*cw
+		cy := window.MinY + (float64(cell/cells)+0.5)*ch
+		out = append(out, g.StarPolygon(cx, cy, rMin, rMax, edgesPerComponent))
+	}
+	return out
+}
+
+// Country returns a country-like REG* region: a large mainland with a
+// rectangular enclave hole (decomposed into two simple polygons sharing
+// boundary segments, as in Fig. 2 of the paper), plus the given number of
+// small islands placed east of the mainland. The total edge count grows
+// with mainlandEdges and islands.
+func (g *Generator) Country(cx, cy, size float64, mainlandEdges, islands int) geom.Region {
+	if mainlandEdges < 8 {
+		mainlandEdges = 8
+	}
+	// Mainland: ring with hole, as two C-shaped halves around a hole at the
+	// centre. Build from an axis-aligned outer box with a jittered boundary
+	// replaced by a star ring is complex; instead: outer star ring is
+	// approximated by a box with many collinear-jittered vertices.
+	hole := 0.25 * size
+	outer := 0.5 * size
+	// Left half: C-shape opening east.
+	left := geom.Polygon{
+		geom.Pt(cx-outer, cy+outer),
+		geom.Pt(cx, cy+outer),
+		geom.Pt(cx, cy+hole),
+		geom.Pt(cx-hole, cy+hole),
+		geom.Pt(cx-hole, cy-hole),
+		geom.Pt(cx, cy-hole),
+		geom.Pt(cx, cy-outer),
+		geom.Pt(cx-outer, cy-outer),
+	}
+	right := geom.Polygon{
+		geom.Pt(cx, cy+outer),
+		geom.Pt(cx+outer, cy+outer),
+		geom.Pt(cx+outer, cy-outer),
+		geom.Pt(cx, cy-outer),
+		geom.Pt(cx, cy-hole),
+		geom.Pt(cx+hole, cy-hole),
+		geom.Pt(cx+hole, cy+hole),
+		geom.Pt(cx, cy+hole),
+	}
+	// Jagged west coastline: insert extra vertices along the closing edge
+	// from the south-west corner back north to the north-west corner, each
+	// jutting slightly further west. The polyline is y-monotone and stays
+	// strictly west of the rest of the ring, so the ring remains simple and
+	// clockwise.
+	extra := mainlandEdges - len(left) - len(right)
+	if extra > 0 {
+		for i := 0; i < extra; i++ {
+			frac := (float64(i) + 1) / (float64(extra) + 1)
+			y := cy - outer + frac*2*outer
+			x := cx - outer - g.uniform(0.01, 0.1)*size
+			left = append(left, geom.Pt(x, y))
+		}
+	}
+	out := geom.Region{left.Clockwise(), right.Clockwise()}
+	// Islands east of the mainland.
+	for i := 0; i < islands; i++ {
+		ix := cx + outer + size*0.2 + float64(i%4)*size*0.35
+		iy := cy - outer + float64(i/4)*size*0.3 + size*0.05
+		r := size * 0.08
+		out = append(out, g.StarPolygon(ix, iy, 0.4*r, r, 5+g.rng.Intn(4)))
+	}
+	return out
+}
+
+// Pair bundles a primary/reference region pair for relation workloads.
+type Pair struct {
+	A, B geom.Region
+}
+
+// Pairs returns n primary/reference pairs of star polygons with the given
+// total edge budget per region, placed so the pair exhibits a diverse mix of
+// overlapping, containing and disjoint configurations.
+func (g *Generator) Pairs(n, edgesPerRegion int) []Pair {
+	out := make([]Pair, n)
+	for i := range out {
+		bx := g.uniform(-5, 5)
+		by := g.uniform(-5, 5)
+		b := geom.Rgn(g.StarPolygon(bx, by, 2, 5, maxInt(3, edgesPerRegion)))
+		// Primary at a random offset spanning the interesting cases.
+		ax := bx + g.uniform(-12, 12)
+		ay := by + g.uniform(-12, 12)
+		a := geom.Rgn(g.StarPolygon(ax, ay, 2, 8, maxInt(3, edgesPerRegion)))
+		out[i] = Pair{A: a, B: b}
+	}
+	return out
+}
+
+// ScalingCase is one point of an edge-count sweep: a primary region with
+// exactly Edges edges spanning all nine tiles of the fixed reference.
+type ScalingCase struct {
+	Edges int
+	A, B  geom.Region
+}
+
+// ScalingSweep builds the workload for the linearity experiments (E4–E7): a
+// fixed reference region and primary star polygons with exactly the given
+// edge counts, sized to span all nine tiles so every code path is exercised.
+func (g *Generator) ScalingSweep(edgeCounts []int) []ScalingCase {
+	b := BoxRegion(-1, -1, 1, 1)
+	out := make([]ScalingCase, 0, len(edgeCounts))
+	for _, k := range edgeCounts {
+		if k < 3 {
+			panic(fmt.Sprintf("workload: scaling case needs ≥3 edges, got %d", k))
+		}
+		a := geom.Rgn(g.StarPolygon(0, 0, 2, 6, k))
+		out = append(out, ScalingCase{Edges: k, A: a, B: b})
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"testing"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).StarPolygon(0, 0, 1, 3, 12)
+	b := New(42).StarPolygon(0, 0, 1, 3, 12)
+	if len(a) != len(b) {
+		t.Fatal("different lengths from equal seeds")
+	}
+	for i := range a {
+		if !a[i].Eq(b[i]) {
+			t.Fatalf("vertex %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := New(43).StarPolygon(0, 0, 1, 3, 12)
+	same := true
+	for i := range a {
+		if !a[i].Eq(c[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical polygons")
+	}
+}
+
+func TestStarPolygonValid(t *testing.T) {
+	g := New(1)
+	for _, n := range []int{3, 4, 7, 16, 64, 256} {
+		p := g.StarPolygon(5, -3, 1, 4, n)
+		if p.NumEdges() != n {
+			t.Errorf("n=%d: got %d edges", n, p.NumEdges())
+		}
+		if !p.IsClockwise() {
+			t.Errorf("n=%d: not clockwise", n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestStarPolygonManySeedsValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g := New(seed)
+		p := g.StarPolygon(0, 0, 0.5, 3, 3+int(seed%20))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestStarPolygonPanics(t *testing.T) {
+	g := New(1)
+	for _, fn := range []func(){
+		func() { g.StarPolygon(0, 0, 1, 2, 2) },
+		func() { g.StarPolygon(0, 0, 0, 2, 5) },
+		func() { g.StarPolygon(0, 0, 3, 2, 5) },
+		func() { g.ConvexPolygon(0, 0, 1, 2) },
+		func() { g.Region(geom.Rect{MaxX: 1, MaxY: 1}, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid parameters")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConvexPolygon(t *testing.T) {
+	g := New(9)
+	for _, n := range []int{3, 5, 10, 40} {
+		p := g.ConvexPolygon(1, 2, 5, n)
+		if p.NumEdges() != n {
+			t.Errorf("n=%d: got %d edges", n, p.NumEdges())
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+		// Convexity: every turn is the same direction (clockwise ⇒ right
+		// turns everywhere).
+		for i := 0; i < n; i++ {
+			a, b, c := p[i], p[(i+1)%n], p[(i+2)%n]
+			if geom.Orient(a, b, c) > 0 {
+				t.Errorf("n=%d: left turn at vertex %d — not convex clockwise", n, i)
+			}
+		}
+	}
+}
+
+func TestRegionComponentsDisjoint(t *testing.T) {
+	g := New(5)
+	window := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	r := g.Region(window, 9, 8)
+	if len(r) != 9 {
+		t.Fatalf("components = %d", len(r))
+	}
+	if err := r.ValidateStrict(); err != nil {
+		t.Fatalf("region not strictly valid: %v", err)
+	}
+	if got := r.NumEdges(); got != 9*8 {
+		t.Errorf("edges = %d, want 72", got)
+	}
+	for _, p := range r {
+		bb := p.BoundingBox()
+		if !window.ContainsRect(bb) {
+			t.Errorf("component %v escapes the window", bb)
+		}
+	}
+}
+
+func TestCountry(t *testing.T) {
+	g := New(11)
+	c := g.Country(0, 0, 10, 24, 6)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("country invalid: %v", err)
+	}
+	if len(c) != 2+6 {
+		t.Errorf("polygons = %d, want mainland halves + 6 islands", len(c))
+	}
+	// The enclave hole at the centre is not part of the region.
+	if c.Contains(geom.Pt(0, 0)) {
+		t.Error("hole centre should not be contained")
+	}
+	// Mainland material around the hole is.
+	if !c.Contains(geom.Pt(0, 4)) || !c.Contains(geom.Pt(-4, 0)) {
+		t.Error("mainland material missing")
+	}
+	// Edge budget reached.
+	mainEdges := c[0].NumEdges() + c[1].NumEdges()
+	if mainEdges != 24 {
+		t.Errorf("mainland edges = %d, want 24", mainEdges)
+	}
+	// A country can serve as primary region against a reference box.
+	b := BoxRegion(20, -2, 24, 2)
+	if _, err := core.ComputeCDR(c, b); err != nil {
+		t.Errorf("ComputeCDR on country: %v", err)
+	}
+}
+
+func TestCountryMinimumEdges(t *testing.T) {
+	g := New(3)
+	c := g.Country(0, 0, 10, 0, 0) // below-minimum budget clamps to 16
+	if err := c.Validate(); err != nil {
+		t.Fatalf("minimal country invalid: %v", err)
+	}
+	if len(c) != 2 {
+		t.Errorf("polygons = %d, want 2", len(c))
+	}
+}
+
+func TestPairs(t *testing.T) {
+	g := New(77)
+	ps := g.Pairs(50, 10)
+	if len(ps) != 50 {
+		t.Fatalf("pairs = %d", len(ps))
+	}
+	rels := map[core.Relation]int{}
+	for i, p := range ps {
+		if err := p.A.Validate(); err != nil {
+			t.Fatalf("pair %d primary: %v", i, err)
+		}
+		if err := p.B.Validate(); err != nil {
+			t.Fatalf("pair %d reference: %v", i, err)
+		}
+		r, err := core.ComputeCDR(p.A, p.B)
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		rels[r]++
+	}
+	if len(rels) < 5 {
+		t.Errorf("only %d distinct relations across pairs — placement not diverse", len(rels))
+	}
+}
+
+func TestScalingSweep(t *testing.T) {
+	g := New(123)
+	counts := []int{8, 32, 128, 512}
+	cases := g.ScalingSweep(counts)
+	if len(cases) != len(counts) {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	for i, c := range cases {
+		if c.Edges != counts[i] || c.A.NumEdges() != counts[i] {
+			t.Errorf("case %d: edges = %d/%d, want %d", i, c.Edges, c.A.NumEdges(), counts[i])
+		}
+		rel, err := core.ComputeCDR(c.A, c.B)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// The primary spans all nine tiles (rMin 2 > box half-diagonal √2,
+		// so the box is strictly inside the star's inner radius).
+		if rel.NumTiles() != 9 {
+			t.Errorf("case %d: relation %v spans %d tiles, want 9", i, rel, rel.NumTiles())
+		}
+	}
+}
+
+func TestBoxHelpers(t *testing.T) {
+	b := Box(0, 0, 4, 2)
+	if !b.IsClockwise() || b.Area() != 8 {
+		t.Errorf("Box: cw=%v area=%v", b.IsClockwise(), b.Area())
+	}
+	r := BoxRegion(0, 0, 4, 2)
+	if len(r) != 1 || r.Area() != 8 {
+		t.Errorf("BoxRegion wrong: %v", r)
+	}
+}
