@@ -1,0 +1,31 @@
+# CARDIRECT reproduction — developer targets.
+#
+# `make check` is the gate every change must pass: vet, a full build, and
+# the test suite under the race detector (the parallel batch engine in
+# internal/core is exercised with real worker pools, so -race is not
+# optional).
+
+GO ?= go
+
+.PHONY: check vet build test race bench experiments
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The paper-shaped benchmark tables (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+experiments:
+	$(GO) run ./cmd/cdrbench -quick

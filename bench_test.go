@@ -509,6 +509,89 @@ func BenchmarkAblationSinglePass(b *testing.B) {
 	})
 }
 
+// --- E18: the all-pairs batch engine (parallel + MBB tile pruning) ---
+
+// allPairsWorkload is the 200-region scatter the batch benchmarks share: a
+// mix of strictly-disjoint, contained, and grid-line-straddling bounding
+// boxes (see workload.Scatter).
+func allPairsWorkload(n int) []core.NamedRegion {
+	g := workload.New(20040314)
+	scattered := g.Scatter(n, 8)
+	regions := make([]core.NamedRegion, n)
+	for i, r := range scattered {
+		regions[i] = core.NamedRegion{Name: fmt.Sprintf("r%04d", i), Region: r}
+	}
+	return regions
+}
+
+func benchmarkAllPairs(b *testing.B, n int, opt core.BatchOptions) {
+	regions := allPairsWorkload(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := core.ComputeAllPairsOpt(regions, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != n*(n-1) {
+			b.Fatalf("pairs = %d, want %d", len(out), n*(n-1))
+		}
+	}
+	b.ReportMetric(float64(n*(n-1)), "pairs/op")
+}
+
+// BenchmarkAllPairsSequential is the seed path: one worker, full edge
+// splitting for every ordered pair.
+func BenchmarkAllPairsSequential(b *testing.B) {
+	benchmarkAllPairs(b, 200, core.BatchOptions{Workers: 1, NoPrune: true})
+}
+
+// BenchmarkAllPairsPruned isolates the MBB tile-pruning fast path: still
+// one worker, but box-separable pairs skip SplitEdge entirely.
+func BenchmarkAllPairsPruned(b *testing.B) {
+	benchmarkAllPairs(b, 200, core.BatchOptions{Workers: 1})
+}
+
+// BenchmarkAllPairsParallel is the production path: pruning plus the
+// GOMAXPROCS worker pool (ComputeAllPairsParallel).
+func BenchmarkAllPairsParallel(b *testing.B) {
+	benchmarkAllPairs(b, 200, core.BatchOptions{})
+}
+
+// BenchmarkAllPairsParallelNoPrune isolates the pool's contribution with
+// pruning disabled.
+func BenchmarkAllPairsParallelNoPrune(b *testing.B) {
+	benchmarkAllPairs(b, 200, core.BatchOptions{NoPrune: true})
+}
+
+// TestE18ParallelWins asserts the direction of the headline comparison: on
+// the 200-region workload the pruned+parallel path must beat the sequential
+// unpruned seed path.
+func TestE18ParallelWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based; skipped in -short")
+	}
+	regions := allPairsWorkload(200)
+	seq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{Workers: 1, NoPrune: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	par := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if par.NsPerOp() >= seq.NsPerOp() {
+		t.Errorf("pruned+parallel (%d ns) not faster than sequential seed path (%d ns)",
+			par.NsPerOp(), seq.NsPerOp())
+	}
+}
+
 // --- E16 (extension): R-tree-accelerated directional selection ---
 
 func TestE16IndexedMatchesNaive(t *testing.T) {

@@ -263,15 +263,45 @@ type (
 	NamedRegion = core.NamedRegion
 	// PairRelation is one batch result entry.
 	PairRelation = core.PairRelation
+	// Prepared is a region preprocessed for repeated relation computation:
+	// clockwise-normalised, edges flattened, bounding box and tile grid
+	// precomputed. Immutable after Prepare; safe for concurrent use.
+	Prepared = core.Prepared
+	// Scratch holds reusable per-goroutine buffers for Relate.
+	Scratch = core.Scratch
+	// BatchOptions tunes the all-pairs batch engine (worker count,
+	// disabling the MBB prune fast path).
+	BatchOptions = core.BatchOptions
 )
 
 var (
 	// NewAccumulator prepares a streaming computation against a reference box.
 	NewAccumulator = core.NewAccumulator
-	// ComputeAllPairs computes every ordered pair's relation.
+	// ComputeAllPairs computes every ordered pair's relation sequentially.
 	ComputeAllPairs = core.ComputeAllPairs
+	// ComputeAllPairsParallel is ComputeAllPairs on a worker pool sized to
+	// GOMAXPROCS, with identical (deterministic) output.
+	ComputeAllPairsParallel = core.ComputeAllPairsParallel
+	// ComputeAllPairsOpt is the configurable batch engine; it also reports
+	// instrumentation (edge counts, MBB prune hits).
+	ComputeAllPairsOpt = core.ComputeAllPairsOpt
+	// ComputeAllPairsPrepared runs the batch engine over already-prepared
+	// regions.
+	ComputeAllPairsPrepared = core.ComputeAllPairsPrepared
+	// Prepare preprocesses one region for repeated Relate calls.
+	Prepare = core.Prepare
+	// PrepareAll preprocesses a named batch, validating names.
+	PrepareAll = core.PrepareAll
+	// Relate computes the relation between two prepared regions.
+	Relate = core.Relate
 	// FindRelated filters candidates by their relation to a reference.
 	FindRelated = core.FindRelated
+	// FindRelatedParallel is FindRelated on a worker pool, with identical
+	// output.
+	FindRelatedParallel = core.FindRelatedParallel
+	// ErrDegenerateRegion reports a region unusable by the algorithms
+	// (empty, or with no edges); matched with errors.Is.
+	ErrDegenerateRegion = core.ErrDegenerateRegion
 )
 
 // Geometry interchange and construction helpers.

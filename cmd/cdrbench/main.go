@@ -12,6 +12,7 @@
 //	E15    intersection-computation counts
 //	E16    R-tree-accelerated directional selection (extension)
 //	E17    directions + topology + distance (future work #2)
+//	E18    all-pairs batch engine: sequential vs MBB-pruned vs parallel
 //
 // Usage:
 //

@@ -26,7 +26,6 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -169,36 +168,34 @@ func (img *Image) Validate() error {
 }
 
 // ComputeRelations recomputes the materialised Relation list for every
-// ordered pair of distinct regions using Compute-CDR; when withPct is set it
-// also runs Compute-CDR% and stores the percentage matrix in the pct
-// attribute. Results are ordered (primary, reference) by region id.
+// ordered pair of distinct regions using the batch engine (grids and edge
+// tables built once per region, MBB pruning); when withPct is set it also
+// runs Compute-CDR% and stores the percentage matrix in the pct attribute.
+// Results are ordered (primary, reference) by region id, exactly as the
+// batch engine emits them.
 func (img *Image) ComputeRelations(withPct bool) error {
+	regions := make([]core.NamedRegion, len(img.Regions))
 	geoms := make(map[string]geom.Region, len(img.Regions))
 	for i := range img.Regions {
-		geoms[img.Regions[i].ID] = img.Regions[i].Geometry()
+		g := img.Regions[i].Geometry()
+		regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: g}
+		geoms[img.Regions[i].ID] = g
 	}
-	ids := img.RegionIDs()
-	sort.Strings(ids)
+	pairs, _, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{})
+	if err != nil {
+		return fmt.Errorf("config: computing relations: %w", err)
+	}
 	img.Relations = img.Relations[:0]
-	for _, p := range ids {
-		for _, q := range ids {
-			if p == q {
-				continue
-			}
-			rel, err := core.ComputeCDR(geoms[p], geoms[q])
+	for _, pr := range pairs {
+		entry := Relation{Type: pr.Relation.String(), Primary: pr.Primary, Reference: pr.Reference}
+		if withPct {
+			_, areas, err := core.ComputeCDRPct(geoms[pr.Primary], geoms[pr.Reference])
 			if err != nil {
-				return fmt.Errorf("config: computing %s vs %s: %w", p, q, err)
+				return fmt.Errorf("config: computing %s %% %s: %w", pr.Primary, pr.Reference, err)
 			}
-			entry := Relation{Type: rel.String(), Primary: p, Reference: q}
-			if withPct {
-				_, areas, err := core.ComputeCDRPct(geoms[p], geoms[q])
-				if err != nil {
-					return fmt.Errorf("config: computing %s %% %s: %w", p, q, err)
-				}
-				entry.Pct = encodePct(areas.Percent())
-			}
-			img.Relations = append(img.Relations, entry)
+			entry.Pct = encodePct(areas.Percent())
 		}
+		img.Relations = append(img.Relations, entry)
 	}
 	return nil
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cardirect/internal/geom"
 )
@@ -21,105 +24,199 @@ type PairRelation struct {
 	Relation  Relation
 }
 
+// BatchOptions configures the all-pairs batch engine.
+type BatchOptions struct {
+	// Workers is the worker-pool size; values ≤ 0 mean GOMAXPROCS. One
+	// worker runs the whole batch on the calling goroutine.
+	Workers int
+	// NoPrune disables the MBB tile-pruning fast path, forcing full
+	// edge-splitting for every pair. Used by benchmarks and ablations.
+	NoPrune bool
+}
+
 // ComputeAllPairs computes the cardinal direction relation for every
 // ordered pair of distinct regions — the bulk operation CARDIRECT performs
-// when a configuration is (re)annotated. Polygons are normalised and
-// bounding boxes computed once per region rather than once per pair, and
-// results come back sorted by (primary, reference).
+// when a configuration is (re)annotated. Regions are prepared (normalised,
+// flattened, bounding-boxed) once each rather than once per pair, and the
+// MBB fast path answers box-separable pairs without splitting a single
+// edge. Results come back sorted by (primary, reference). This sequential
+// entry point runs on the calling goroutine; ComputeAllPairsParallel fans
+// the same computation out over a worker pool.
 func ComputeAllPairs(regions []NamedRegion) ([]PairRelation, error) {
-	n := len(regions)
+	out, _, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 1})
+	return out, err
+}
+
+// ComputeAllPairsParallel is ComputeAllPairs over a GOMAXPROCS-sized worker
+// pool. The output is deterministic and identical to the sequential path.
+func ComputeAllPairsParallel(regions []NamedRegion) ([]PairRelation, error) {
+	out, _, err := ComputeAllPairsOpt(regions, BatchOptions{})
+	return out, err
+}
+
+// ComputeAllPairsOpt is the configurable batch engine: it prepares every
+// region once, then computes all ordered pairs with the requested worker
+// count and pruning mode, returning aggregated instrumentation alongside
+// the sorted results.
+func ComputeAllPairsOpt(regions []NamedRegion, opt BatchOptions) ([]PairRelation, Stats, error) {
+	if len(regions) < 2 {
+		return nil, Stats{}, nil
+	}
+	ps, err := PrepareAll(regions)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ComputeAllPairsPrepared(ps, opt)
+}
+
+// ComputeAllPairsPrepared runs the batch over already-prepared regions,
+// letting callers that hold Prepared values (indexes, configuration stores)
+// skip re-preparation. Every region must be usable as a reference.
+func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, Stats, error) {
+	n := len(ps)
 	if n < 2 {
-		return nil, nil
+		return nil, Stats{}, nil
 	}
-	names := make([]string, n)
-	seen := make(map[string]bool, n)
-	norm := make([]geom.Region, n)
-	grids := make([]Grid, n)
-	for i, r := range regions {
-		if r.Name == "" {
-			return nil, fmt.Errorf("core: region %d has empty name", i)
+	for _, p := range ps {
+		if p.gridErr != nil {
+			return nil, Stats{}, fmt.Errorf("core: region %q: %w", p.Name, p.gridErr)
 		}
-		if seen[r.Name] {
-			return nil, fmt.Errorf("core: duplicate region name %q", r.Name)
-		}
-		seen[r.Name] = true
-		names[i] = r.Name
-		if len(r.Region) == 0 {
-			return nil, fmt.Errorf("core: region %q is empty", r.Name)
-		}
-		norm[i] = r.Region.Clockwise()
-		g, err := NewGrid(r.Region.BoundingBox())
-		if err != nil {
-			return nil, fmt.Errorf("core: region %q: %w", r.Name, err)
-		}
-		grids[i] = g
 	}
-	out := make([]PairRelation, 0, n*(n-1))
-	buf := make([]geom.Segment, 0, 8)
-	for pi := 0; pi < n; pi++ {
-		for ri := 0; ri < n; ri++ {
-			if pi == ri {
-				continue
+	// Name-sorted iteration makes out[] land directly in the canonical
+	// (primary, reference) order with no final sort, and makes each
+	// worker's write range a function of the claimed row alone.
+	order := make([]*Prepared, n)
+	copy(order, ps)
+	sort.Slice(order, func(i, j int) bool { return order[i].Name < order[j].Name })
+
+	out := make([]PairRelation, n*(n-1))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var next atomic.Int64
+	var mu sync.Mutex
+	var total Stats
+	work := func() {
+		sc := &Scratch{buf: make([]geom.Segment, 0, 8)}
+		var st Stats
+		for {
+			pi := int(next.Add(1) - 1)
+			if pi >= n {
+				break
 			}
-			grid := grids[ri]
-			center := grid.Box().Center()
-			var rel Relation
-			for _, p := range norm[pi] {
-				for i := 0; i < p.NumEdges(); i++ {
-					buf = grid.SplitEdge(p.Edge(i), buf[:0])
-					for _, s := range buf {
-						rel = rel.With(grid.ClassifySegment(s))
-					}
+			a := order[pi]
+			row := out[pi*(n-1) : (pi+1)*(n-1)]
+			k := 0
+			for ri := 0; ri < n; ri++ {
+				if ri == pi {
+					continue
 				}
-				if p.Contains(center) {
-					rel = rel.With(TileB)
-				}
+				b := order[ri]
+				rel := a.relate(b.grid, b.center, opt.NoPrune, sc, &st)
+				st.Passes++
+				row[k] = PairRelation{Primary: a.Name, Reference: b.Name, Relation: rel}
+				k++
 			}
-			if !rel.IsValid() {
-				return nil, fmt.Errorf("core: %q vs %q produced no tiles", names[pi], names[ri])
-			}
-			out = append(out, PairRelation{Primary: names[pi], Reference: names[ri], Relation: rel})
 		}
+		mu.Lock()
+		total.Merge(st)
+		mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Primary != out[j].Primary {
-			return out[i].Primary < out[j].Primary
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
 		}
-		return out[i].Reference < out[j].Reference
-	})
-	return out, nil
+		wg.Wait()
+	}
+	return out, total, nil
 }
 
 // FindRelated returns the names of the candidate regions whose relation to
 // the reference region is a member of the allowed set — the primitive
 // behind "retrieve combinations of interesting regions" queries when only
-// one side varies.
+// one side varies. A candidate with no usable geometry yields an error
+// wrapping ErrDegenerateRegion rather than a silent non-match.
 func FindRelated(candidates []NamedRegion, reference geom.Region, allowed RelationSet) ([]string, error) {
+	return findRelated(candidates, reference, allowed, 1)
+}
+
+// FindRelatedParallel is FindRelated over a GOMAXPROCS-sized worker pool,
+// with identical (sorted, deterministic) output.
+func FindRelatedParallel(candidates []NamedRegion, reference geom.Region, allowed RelationSet) ([]string, error) {
+	return findRelated(candidates, reference, allowed, 0)
+}
+
+func findRelated(candidates []NamedRegion, reference geom.Region, allowed RelationSet, workers int) ([]string, error) {
 	if allowed.IsEmpty() {
 		return nil, fmt.Errorf("core: empty allowed relation set")
+	}
+	if len(reference) == 0 {
+		return nil, fmt.Errorf("core: reference region is empty")
 	}
 	grid, err := NewGrid(reference.BoundingBox())
 	if err != nil {
 		return nil, err
 	}
 	center := grid.Box().Center()
-	buf := make([]geom.Segment, 0, 8)
-	var out []string
-	for _, c := range candidates {
-		var rel Relation
-		for _, p := range c.Region.Clockwise() {
-			for i := 0; i < p.NumEdges(); i++ {
-				buf = grid.SplitEdge(p.Edge(i), buf[:0])
-				for _, s := range buf {
-					rel = rel.With(grid.ClassifySegment(s))
-				}
+
+	n := len(candidates)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	matched := make([]bool, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		sc := &Scratch{buf: make([]geom.Segment, 0, 8)}
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				break
 			}
-			if p.Contains(center) {
-				rel = rel.With(TileB)
+			c := candidates[i]
+			p, err := Prepare(c.Name, c.Region)
+			if err != nil {
+				errs[i] = err
+				continue
 			}
+			matched[i] = allowed.Contains(p.relate(grid, center, false, sc, nil))
 		}
-		if allowed.Contains(rel) {
-			out = append(out, c.Name)
+	}
+	if workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	var out []string
+	for i := range candidates {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if matched[i] {
+			out = append(out, candidates[i].Name)
 		}
 	}
 	sort.Strings(out)

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+// batchWorkload builds n named regions with a deliberate mix of MBB
+// configurations: scattered stars (many strictly-disjoint boxes), nested
+// regions (contained MBBs), and large regions overlapping several grid
+// lines (no fast path).
+func batchWorkload(seed int64, n int) []NamedRegion {
+	g := workload.New(seed)
+	scattered := g.Scatter(n, 8)
+	out := make([]NamedRegion, n)
+	for i, r := range scattered {
+		out[i] = NamedRegion{Name: fmt.Sprintf("r%03d", i), Region: r}
+	}
+	return out
+}
+
+// TestComputeAllPairsDifferential asserts the three implementations agree
+// exactly: parallel ≡ sequential ≡ unpruned ≡ pairwise ComputeCDR, over
+// several seeds.
+func TestComputeAllPairsDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 20040314, 777} {
+		regions := batchWorkload(seed, 40)
+		seq, err := ComputeAllPairs(regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ComputeAllPairsParallel(regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("seed %d: parallel output differs from sequential", seed)
+		}
+		noPrune, st, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 1, NoPrune: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, noPrune) {
+			t.Fatalf("seed %d: pruned output differs from unpruned", seed)
+		}
+		if st.PruneSingleTile != 0 || st.PruneBand != 0 {
+			t.Fatalf("seed %d: NoPrune recorded prune hits: %+v", seed, st)
+		}
+		_, stPruned, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stPruned.PruneSingleTile+stPruned.PruneBand == 0 {
+			t.Errorf("seed %d: scattered workload should hit the prune path", seed)
+		}
+		// Pairwise ground truth through the paper's reference algorithm.
+		byName := map[string]geom.Region{}
+		for _, r := range regions {
+			byName[r.Name] = r.Region
+		}
+		for _, pr := range seq {
+			want, err := ComputeCDR(byName[pr.Primary], byName[pr.Reference])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Relation != want {
+				t.Fatalf("seed %d: %s vs %s: batch %v != ComputeCDR %v",
+					seed, pr.Primary, pr.Reference, pr.Relation, want)
+			}
+		}
+	}
+}
+
+// TestComputeAllPairsWorkerCounts: every worker count produces the same,
+// sorted output. Run with -race this also exercises the pool for data
+// races.
+func TestComputeAllPairsWorkerCounts(t *testing.T) {
+	regions := batchWorkload(42, 30)
+	want, err := ComputeAllPairs(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 30*29 {
+		t.Fatalf("pairs = %d, want %d", len(want), 30*29)
+	}
+	for i := 1; i < len(want); i++ {
+		if want[i-1].Primary > want[i].Primary ||
+			(want[i-1].Primary == want[i].Primary && want[i-1].Reference > want[i].Reference) {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+	for _, workers := range []int{2, 3, 4, 7, 16, 64} {
+		got, _, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: output differs from sequential", workers)
+		}
+	}
+}
+
+// TestContainedMBBPairs exercises the contained-box configurations
+// explicitly: a small region strictly inside a big one's box is answered by
+// the single-tile path, and the big one against the small one takes the
+// full path; both must match ComputeCDR.
+func TestContainedMBBPairs(t *testing.T) {
+	regions := []NamedRegion{
+		{Name: "big", Region: geom.Rgn(workload.Box(0, 0, 20, 20))},
+		{Name: "small", Region: geom.Rgn(workload.Box(8, 8, 12, 12))},
+		{Name: "west", Region: geom.Rgn(workload.Box(-30, 5, -25, 15))},
+	}
+	got, st, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PruneSingleTile == 0 {
+		t.Errorf("contained pair should hit the single-tile path: %+v", st)
+	}
+	for _, pr := range got {
+		var a, b geom.Region
+		for _, r := range regions {
+			if r.Name == pr.Primary {
+				a = r.Region
+			}
+			if r.Name == pr.Reference {
+				b = r.Region
+			}
+		}
+		want, err := ComputeCDR(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.Relation != want {
+			t.Errorf("%s vs %s = %v, want %v", pr.Primary, pr.Reference, pr.Relation, want)
+		}
+	}
+}
+
+// TestFindRelatedDegenerateCandidate is the regression test for the silent
+// invalid-relation bug: a degenerate candidate must surface as a named
+// error, not as a silent non-match.
+func TestFindRelatedDegenerateCandidate(t *testing.T) {
+	ref := geom.Rgn(workload.Box(0, 0, 10, 6))
+	candidates := []NamedRegion{
+		{Name: "ok", Region: geom.Rgn(workload.Box(2, -5, 8, -1))},
+		{Name: "empty", Region: geom.Region{}},
+	}
+	_, err := FindRelated(candidates, ref, NewRelationSet(S))
+	if !errors.Is(err, ErrDegenerateRegion) {
+		t.Errorf("FindRelated err = %v, want ErrDegenerateRegion", err)
+	}
+	_, err = FindRelatedParallel(candidates, ref, NewRelationSet(S))
+	if !errors.Is(err, ErrDegenerateRegion) {
+		t.Errorf("FindRelatedParallel err = %v, want ErrDegenerateRegion", err)
+	}
+	// A region of edgeless polygons is just as degenerate.
+	candidates[1].Region = geom.Region{geom.Polygon{}}
+	if _, err := FindRelated(candidates, ref, NewRelationSet(S)); !errors.Is(err, ErrDegenerateRegion) {
+		t.Errorf("edgeless candidate err = %v, want ErrDegenerateRegion", err)
+	}
+}
+
+// TestFindRelatedParallelMatchesSequential: the worker pool must not change
+// the answer.
+func TestFindRelatedParallelMatchesSequential(t *testing.T) {
+	regions := batchWorkload(9, 60)
+	ref := regions[0].Region
+	candidates := regions[1:]
+	allowed := NewRelationSet(S, N, W, E, Rel(TileS, TileSW), Rel(TileN, TileNE))
+	seq, err := FindRelated(candidates, ref, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FindRelatedParallel(candidates, ref, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel %v != sequential %v", par, seq)
+	}
+	// And each must agree with direct computation.
+	for _, c := range candidates {
+		rel, err := ComputeCDR(c.Region, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inSeq := false
+		for _, name := range seq {
+			if name == c.Name {
+				inSeq = true
+			}
+		}
+		if allowed.Contains(rel) != inSeq {
+			t.Errorf("%s: allowed=%v, in result=%v", c.Name, allowed.Contains(rel), inSeq)
+		}
+	}
+}
+
+// TestComputeAllPairsPreparedReuse: callers holding Prepared values get the
+// same results without re-preparation.
+func TestComputeAllPairsPreparedReuse(t *testing.T) {
+	regions := batchWorkload(5, 20)
+	want, err := ComputeAllPairs(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := PrepareAll(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ComputeAllPairsPrepared(ps, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("prepared-reuse output differs")
+	}
+	// A region unusable as reference fails the whole batch, by name.
+	line, err := Prepare("line", geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ComputeAllPairsPrepared(append(ps, line), BatchOptions{}); err == nil {
+		t.Error("degenerate reference should fail the prepared batch")
+	}
+}
+
+func BenchmarkRelatePreparedPair(b *testing.B) {
+	g := workload.New(20040314)
+	c := g.ScalingSweep([]int{1024})[0]
+	pa, err := Prepare("a", c.A)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := Prepare("b", c.B)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := &Scratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Relate(pa, pb, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

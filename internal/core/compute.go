@@ -16,6 +16,24 @@ type Stats struct {
 	Passes        int // scans over the primary region's edge list (1 for Compute-CDR)
 	PointInPoly   int // point-in-polygon tests performed
 	Intersections int // intersection points computed (each costs a division)
+
+	// Batch-engine prune counters: pairs answered by the MBB fast path
+	// with zero edge splits (see Prepared.relateFast).
+	PruneSingleTile int // mbb(primary) strictly inside one tile → O(1) relation
+	PruneBand       int // mbb(primary) strictly inside one row/column → per-polygon boxes
+}
+
+// Merge adds the counters of other into st; the batch engine uses it to
+// aggregate per-worker instrumentation.
+func (st *Stats) Merge(other Stats) {
+	st.EdgesIn += other.EdgesIn
+	st.EdgesOut += other.EdgesOut
+	st.EdgeVisits += other.EdgeVisits
+	st.Passes += other.Passes
+	st.PointInPoly += other.PointInPoly
+	st.Intersections += other.Intersections
+	st.PruneSingleTile += other.PruneSingleTile
+	st.PruneBand += other.PruneBand
 }
 
 // ComputeCDR implements Algorithm Compute-CDR (Fig. 5 of the paper): it

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"math"
+	"testing"
+
+	"cardirect/internal/geom"
+)
 
 // FuzzParseRelation checks the relation parser never panics and that every
 // successfully parsed relation roundtrips through its canonical String form.
@@ -46,4 +51,92 @@ func FuzzParseRelationSet(f *testing.F) {
 			t.Fatalf("roundtrip changed the set: %v vs %v", set, back)
 		}
 	})
+}
+
+// FuzzMBBFastPath cross-checks the batch engine's MBB tile-pruning fast
+// path against full edge-splitting on randomly placed primaries (up to two
+// rectangles and a triangle) versus a rectangular reference. Coordinates
+// are quantized to a 1/4 lattice so exact on-line contact — the tie-break
+// territory — occurs constantly, without manufacturing sub-ulp slivers the
+// floating-point split could misround.
+func FuzzMBBFastPath(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 4.0, 0.0, 6.0, 2.0, uint8(1))
+	f.Add(-3.0, 1.0, 0.0, 5.0, 0.0, 0.0, 10.0, 6.0, uint8(1))   // touching x = m1
+	f.Add(2.0, 2.0, 8.0, 4.0, 0.0, 0.0, 10.0, 6.0, uint8(3))    // contained
+	f.Add(-4.0, -2.0, -1.0, 8.0, 0.0, 0.0, 10.0, 6.0, uint8(7)) // west column
+	f.Add(1.0, -9.0, 3.0, -1.0, 0.0, 0.0, 4.0, 4.0, uint8(5))   // touching y = l1
+	f.Fuzz(func(t *testing.T, ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 float64, shape uint8) {
+		q := func(v float64) (float64, bool) {
+			if v != v || v > 64 || v < -64 {
+				return 0, false
+			}
+			return mathRound4(v), true
+		}
+		coords := []*float64{&ax0, &ay0, &ax1, &ay1, &bx0, &by0, &bx1, &by1}
+		for _, c := range coords {
+			v, ok := q(*c)
+			if !ok {
+				t.Skip("out of range")
+			}
+			*c = v
+		}
+		if bx1 <= bx0 || by1 <= by0 {
+			t.Skip("degenerate reference")
+		}
+		if ax1 <= ax0 || ay1 <= ay0 {
+			t.Skip("degenerate primary")
+		}
+		b := geom.Rgn(geom.Poly(
+			geom.Pt(bx0, by1), geom.Pt(bx1, by1), geom.Pt(bx1, by0), geom.Pt(bx0, by0),
+		))
+		a := geom.Region{geom.Poly(
+			geom.Pt(ax0, ay1), geom.Pt(ax1, ay1), geom.Pt(ax1, ay0), geom.Pt(ax0, ay0),
+		)}
+		if shape&1 != 0 { // second rectangle, offset east
+			w, h := ax1-ax0, ay1-ay0
+			a = append(a, geom.Poly(
+				geom.Pt(ax0+2*w, ay1+h), geom.Pt(ax1+2*w, ay1+h), geom.Pt(ax1+2*w, ay0+h), geom.Pt(ax0+2*w, ay0+h),
+			))
+		}
+		if shape&2 != 0 { // triangle hanging south-west
+			tri := geom.Poly(geom.Pt(ax0, ay0), geom.Pt(ax1, ay0), geom.Pt(ax0, ay0-(ay1-ay0)))
+			if tri.SignedArea() != 0 {
+				a = append(a, tri.Clockwise())
+			}
+		}
+		prep, err := Prepare("a", a)
+		if err != nil {
+			t.Skip("unpreparable primary")
+		}
+		grid, err := NewGrid(b.BoundingBox())
+		if err != nil {
+			t.Skip("no grid")
+		}
+		fast, ok := prep.relateFast(grid, nil)
+		full := prep.relateFull(grid, grid.Box().Center(), &Scratch{}, nil)
+		if ok && fast != full {
+			t.Fatalf("fast path %v != full path %v\nprimary %v\nreference grid %+v", fast, full, a, grid)
+		}
+		// End-to-end: Relate must equal the reference algorithm exactly.
+		want, err := ComputeCDR(a, b)
+		if err != nil {
+			t.Fatalf("ComputeCDR: %v", err)
+		}
+		refP, err := Prepare("b", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Relate(prep, refP, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Relate %v != ComputeCDR %v\nprimary %v reference %v", got, want, a, b)
+		}
+	})
+}
+
+// mathRound4 rounds to the nearest quarter (exact in binary floating point).
+func mathRound4(v float64) float64 {
+	return math.Round(v*4) / 4
 }

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"cardirect/internal/geom"
+)
+
+// ErrDegenerateRegion is returned (wrapped, with the region's name) when a
+// region cannot participate in relation computation: it has no polygons, or
+// its polygons contribute no edges. Callers can test for it with errors.Is.
+var ErrDegenerateRegion = errors.New("core: degenerate region")
+
+// Prepared is a region preprocessed once for repeated cardinal direction
+// computation. It holds everything Compute-CDR needs on either side of a
+// relation — the canonical clockwise orientation, the edges flattened into
+// one contiguous slice (cache locality for the split loop), per-polygon
+// bounding boxes (the MBB fast path), and the reference-side grid — so the
+// O(n²) all-pairs batch pays the per-region preprocessing exactly once per
+// region instead of once per pair. A Prepared value is immutable after
+// construction and safe to share across goroutines.
+type Prepared struct {
+	// Name identifies the region in batch results and error messages.
+	Name string
+	// Region is the input region, normalised to the canonical clockwise
+	// orientation. Callers must not mutate it.
+	Region geom.Region
+	// Box is mbb(Region).
+	Box geom.Rect
+
+	edges   []geom.Segment // every edge of every polygon, contiguous
+	polys   []preparedPoly // per-polygon metadata, parallel to Region
+	grid    Grid           // tile grid when the region is a reference
+	gridErr error          // non-nil when Box is degenerate (unusable as reference)
+	center  geom.Point     // Box.Center(), hoisted out of the pair loop
+	fastOK  bool           // polygons are sound enough for the band fast path
+}
+
+type preparedPoly struct {
+	ring geom.Polygon
+	box  geom.Rect
+}
+
+// Prepare preprocesses a region for repeated relation computation. It fails
+// with a wrapped ErrDegenerateRegion when the region has no polygons or no
+// edges — inputs for which Compute-CDR has no answer.
+func Prepare(name string, r geom.Region) (*Prepared, error) {
+	if len(r) == 0 {
+		return nil, fmt.Errorf("core: region %q is empty: %w", name, ErrDegenerateRegion)
+	}
+	norm := r.Clockwise()
+	total := norm.NumEdges()
+	if total == 0 {
+		return nil, fmt.Errorf("core: region %q has no edges: %w", name, ErrDegenerateRegion)
+	}
+	p := &Prepared{
+		Name:   name,
+		Region: norm,
+		edges:  make([]geom.Segment, 0, total),
+		polys:  make([]preparedPoly, 0, len(norm)),
+		fastOK: true,
+	}
+	box := geom.EmptyRect()
+	for _, poly := range norm {
+		pb := poly.BoundingBox()
+		box = box.Union(pb)
+		p.polys = append(p.polys, preparedPoly{ring: poly, box: pb})
+		for i := 0; i < poly.NumEdges(); i++ {
+			e := poly.Edge(i)
+			if e.IsDegenerate() {
+				p.fastOK = false // zero-length edges break the band derivation
+			}
+			p.edges = append(p.edges, e)
+		}
+		if poly.SignedArea() == 0 {
+			p.fastOK = false // degenerate rings violate the orientation invariant
+		}
+	}
+	p.Box = box
+	p.grid, p.gridErr = NewGrid(box)
+	if p.gridErr == nil {
+		p.center = p.grid.Box().Center()
+	}
+	return p, nil
+}
+
+// PrepareAll preprocesses a batch of named regions, enforcing the batch
+// naming contract (non-empty, unique names).
+func PrepareAll(regions []NamedRegion) ([]*Prepared, error) {
+	seen := make(map[string]bool, len(regions))
+	out := make([]*Prepared, len(regions))
+	for i, r := range regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("core: region %d has empty name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("core: duplicate region name %q", r.Name)
+		}
+		seen[r.Name] = true
+		p, err := Prepare(r.Name, r.Region)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// NumEdges returns the region's total edge count (k in the paper's bounds).
+func (p *Prepared) NumEdges() int { return len(p.edges) }
+
+// Edges returns the region's edges as one contiguous slice in polygon ring
+// order. The slice is shared — callers must not mutate it.
+func (p *Prepared) Edges() []geom.Segment { return p.edges }
+
+// Grid returns the nine-tile grid induced by the region's bounding box, or
+// an error when the box is degenerate and the region cannot serve as a
+// reference (it can still be a primary).
+func (p *Prepared) Grid() (Grid, error) { return p.grid, p.gridErr }
+
+// Scratch holds the reusable buffers of one computation thread. Each worker
+// of a parallel batch owns its own Scratch; sharing one across goroutines is
+// a data race. The zero value is ready to use.
+type Scratch struct {
+	buf []geom.Segment
+}
+
+// Relate computes the cardinal direction relation a R b of the primary a
+// against the reference b — equivalent to ComputeCDR(a.Region, b.Region) but
+// with all per-region work already paid, and with the MBB fast path applied
+// when a's bounding box permits it. sc may be nil (a throwaway scratch is
+// used).
+func Relate(a, b *Prepared, sc *Scratch) (Relation, error) {
+	if b.gridErr != nil {
+		return 0, b.gridErr
+	}
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	return a.relate(b.grid, b.center, false, sc, nil), nil
+}
+
+// RelateGrid computes the relation of the primary region against an
+// arbitrary reference grid. sc may be nil.
+func (p *Prepared) RelateGrid(g Grid, sc *Scratch) Relation {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	return p.relate(g, g.Box().Center(), false, sc, nil)
+}
+
+// relate dispatches between the MBB fast path and the full edge-splitting
+// algorithm. The result is always a valid (non-empty) relation: Prepare
+// guarantees at least one edge exists.
+func (p *Prepared) relate(g Grid, center geom.Point, noPrune bool, sc *Scratch, st *Stats) Relation {
+	if !noPrune {
+		if rel, ok := p.relateFast(g, st); ok {
+			return rel
+		}
+	}
+	return p.relateFull(g, center, sc, st)
+}
+
+// strictCol returns the grid column strictly containing the box — the box
+// touches no vertical grid line — or -1 when the box spans or touches one.
+func strictCol(b geom.Rect, g Grid) int {
+	switch {
+	case b.MaxX < g.M1:
+		return 0
+	case b.MinX > g.M2:
+		return 2
+	case b.MinX > g.M1 && b.MaxX < g.M2:
+		return 1
+	}
+	return -1
+}
+
+// strictRow is the row analogue of strictCol.
+func strictRow(b geom.Rect, g Grid) int {
+	switch {
+	case b.MaxY < g.L1:
+		return 0
+	case b.MinY > g.L2:
+		return 2
+	case b.MinY > g.L1 && b.MaxY < g.L2:
+		return 1
+	}
+	return -1
+}
+
+// relateFast answers the relation from bounding boxes alone, with zero edge
+// splits, when mbb(primary) avoids enough grid lines to make the answer
+// exact:
+//
+//   - mbb strictly inside a single tile: every point of the primary lies
+//     strictly inside that tile, so the relation is that tile — O(1).
+//   - mbb strictly inside a single column (or row): no edge can cross the
+//     two vertical (horizontal) grid lines, so the relation is the fixed
+//     column crossed with the rows each polygon's own bounding box spans —
+//     O(#polygons). This covers every strictly-disjoint pair (boxes
+//     separated on x or y yield at most 3 adjacent perimeter tiles) and
+//     also primaries threading through the middle column or row.
+//
+// The row derivation per polygon is exact for simple clockwise rings: a
+// ring's boundary projects onto the full interval [MinY, MaxY], so it has
+// sub-segments strictly below y = l1 iff MinY < l1, strictly above y = l2
+// iff MaxY > l2, and strictly between iff the open band overlaps (MinY,
+// MaxY) — and an on-line horizontal edge is classified by the interior-side
+// rule to the side its polygon's area lies on, matching the same strict
+// inequalities. Regions with zero-area rings or zero-length edges (fastOK
+// unset) skip the band path, because they break that argument; the
+// single-tile path needs no such invariant.
+func (p *Prepared) relateFast(g Grid, st *Stats) (Relation, bool) {
+	col := strictCol(p.Box, g)
+	row := strictRow(p.Box, g)
+	if col >= 0 && row >= 0 {
+		if st != nil {
+			st.PruneSingleTile++
+		}
+		return Rel(TileAt(col, row)), true
+	}
+	if !p.fastOK {
+		return 0, false
+	}
+	if col >= 0 {
+		var rel Relation
+		for i := range p.polys {
+			b := p.polys[i].box
+			if b.MinY < g.L1 {
+				rel = rel.With(TileAt(col, 0))
+			}
+			if b.MinY < g.L2 && b.MaxY > g.L1 {
+				rel = rel.With(TileAt(col, 1))
+			}
+			if b.MaxY > g.L2 {
+				rel = rel.With(TileAt(col, 2))
+			}
+		}
+		if st != nil {
+			st.PruneBand++
+		}
+		return rel, true
+	}
+	if row >= 0 {
+		var rel Relation
+		for i := range p.polys {
+			b := p.polys[i].box
+			if b.MinX < g.M1 {
+				rel = rel.With(TileAt(0, row))
+			}
+			if b.MinX < g.M2 && b.MaxX > g.M1 {
+				rel = rel.With(TileAt(1, row))
+			}
+			if b.MaxX > g.M2 {
+				rel = rel.With(TileAt(2, row))
+			}
+		}
+		if st != nil {
+			st.PruneBand++
+		}
+		return rel, true
+	}
+	return 0, false
+}
+
+// relateFull is the paper's Compute-CDR over the flattened edge slice: split
+// each edge on the grid lines, classify each sub-segment by its midpoint
+// with interior-side tie-breaking, and add tile B for polygons enclosing the
+// reference box's center. The center test is skipped once B is present and
+// rejected early through the per-polygon bounding box.
+func (p *Prepared) relateFull(g Grid, center geom.Point, sc *Scratch, st *Stats) Relation {
+	var rel Relation
+	buf := sc.buf
+	for _, e := range p.edges {
+		buf = g.SplitEdge(e, buf[:0])
+		if st != nil {
+			st.EdgesIn++
+			st.EdgeVisits++
+			st.EdgesOut += len(buf)
+			st.Intersections += len(buf) - 1
+		}
+		for _, s := range buf {
+			rel = rel.With(g.ClassifySegment(s))
+		}
+	}
+	sc.buf = buf
+	if !rel.Has(TileB) {
+		for i := range p.polys {
+			pp := &p.polys[i]
+			if !pp.box.Contains(center) {
+				continue
+			}
+			if st != nil {
+				st.PointInPoly++
+			}
+			if pp.ring.Contains(center) {
+				rel = rel.With(TileB)
+				break
+			}
+		}
+	}
+	return rel
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -527,6 +528,86 @@ func E16IndexedSelection(o Options) (Report, error) {
 	return Report{ID: "E16", Title: "R-tree-accelerated directional selection (extension)", Body: sb.String()}, nil
 }
 
+// E18BatchScaling measures the all-pairs batch engine — CARDIRECT's bulk
+// (re)annotation, and the relation-matrix builder consistency-checking
+// workloads consume. Three configurations over a region-count × edge-count
+// sweep: the sequential full-splitting path (every pair pays SplitEdge),
+// the MBB-pruned path (box-separable and box-contained pairs answered with
+// zero splits), and the pruned path on the GOMAXPROCS worker pool. A
+// worker-count sweep on the largest workload shows how the pool scales.
+func E18BatchScaling(o Options) (Report, error) {
+	g := workload.New(o.Seed)
+	type cfg struct{ regions, edges int }
+	cfgs := []cfg{{50, 8}, {100, 8}, {200, 8}}
+	if !o.Quick {
+		cfgs = append(cfgs, cfg{200, 32}, cfg{400, 8})
+	}
+	named := func(n, edges int) []core.NamedRegion {
+		scattered := g.Scatter(n, edges)
+		out := make([]core.NamedRegion, n)
+		for i, r := range scattered {
+			out[i] = core.NamedRegion{Name: fmt.Sprintf("r%04d", i), Region: r}
+		}
+		return out
+	}
+	run := func(regions []core.NamedRegion, opt core.BatchOptions) float64 {
+		return bench(func() {
+			if _, _, err := core.ComputeAllPairsOpt(regions, opt); err != nil {
+				panic(err)
+			}
+		})
+	}
+	rows := make([][]string, 0, len(cfgs))
+	var largest []core.NamedRegion
+	for _, c := range cfgs {
+		regions := named(c.regions, c.edges)
+		largest = regions
+		nsSeq := run(regions, core.BatchOptions{Workers: 1, NoPrune: true})
+		nsPruned := run(regions, core.BatchOptions{Workers: 1})
+		nsPar := run(regions, core.BatchOptions{})
+		_, st, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{Workers: 1})
+		if err != nil {
+			return Report{}, err
+		}
+		pairs := c.regions * (c.regions - 1)
+		pruned := st.PruneSingleTile + st.PruneBand
+		rows = append(rows, []string{
+			fmt.Sprintf("%d×%d", c.regions, c.edges),
+			fmt.Sprint(pairs),
+			fmt.Sprintf("%.2f", nsSeq/1e6),
+			fmt.Sprintf("%.2f", nsPruned/1e6),
+			fmt.Sprintf("%.2f", nsPar/1e6),
+			fmt.Sprintf("%.1f%%", 100*float64(pruned)/float64(pairs)),
+			fmt.Sprintf("%.2fx", nsSeq/nsPruned),
+			fmt.Sprintf("%.2fx", nsSeq/nsPar),
+		})
+	}
+	body := Table(
+		[]string{"regions×edges", "pairs", "seq ms", "pruned ms", "parallel ms", "prune hits", "prune speedup", "total speedup"},
+		rows,
+	)
+	// Worker-count sweep on the largest workload, pruning enabled.
+	maxProcs := runtime.GOMAXPROCS(0)
+	counts := []int{1, 2, 4}
+	if maxProcs > 4 {
+		counts = append(counts, maxProcs)
+	}
+	base := run(largest, core.BatchOptions{Workers: 1})
+	wrows := make([][]string, 0, len(counts))
+	for _, w := range counts {
+		ns := run(largest, core.BatchOptions{Workers: w})
+		wrows = append(wrows, []string{
+			fmt.Sprint(w),
+			fmt.Sprintf("%.2f", ns/1e6),
+			fmt.Sprintf("%.2fx", base/ns),
+		})
+	}
+	body += "\nworker-count sweep (" + fmt.Sprintf("%d regions, GOMAXPROCS=%d", len(largest), maxProcs) + "):\n"
+	body += Table([]string{"workers", "ms", "speedup vs 1 worker"}, wrows)
+	body += "\nthe prune and pool compose: pruned+parallel is the production path (ComputeAllPairsParallel)\n"
+	return Report{ID: "E18", Title: "All-pairs batch engine: MBB pruning × worker pool", Body: body}, nil
+}
+
 // Entry is one runnable experiment of the suite.
 type Entry struct {
 	ID  string
@@ -550,6 +631,7 @@ func Entries(o Options) []Entry {
 		{"E15", func() (Report, error) { return E15OpCounts(o) }},
 		{"E16", func() (Report, error) { return E16IndexedSelection(o) }},
 		{"E17", E17CombinedRelations},
+		{"E18", func() (Report, error) { return E18BatchScaling(o) }},
 	}
 }
 

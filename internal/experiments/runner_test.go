@@ -109,10 +109,25 @@ func TestE17Report(t *testing.T) {
 	}
 }
 
+func TestE18Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E18BatchScaling(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"pairs", "prune hits", "speedup", "workers"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E18 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 13 {
-		t.Fatalf("entries = %d, want 13 (E1-E3 … E17)", len(entries))
+	if len(entries) != 14 {
+		t.Fatalf("entries = %d, want 14 (E1-E3 … E18)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

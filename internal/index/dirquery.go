@@ -45,6 +45,7 @@ func DirectionalSelect(
 	allowedRels := allowed.Relations()
 
 	var out []string
+	sc := &core.Scratch{}
 	for _, it := range candidates {
 		// Stage 2: MBB-level pruning.
 		mbbRel := mbbRelation(grid, it.Box)
@@ -58,16 +59,18 @@ func DirectionalSelect(
 		if !possible {
 			continue
 		}
-		// Stage 3: exact refinement.
+		// Stage 3: exact refinement through the prepared-region engine —
+		// the reference grid is reused across survivors, the split buffer
+		// is recycled, and box-separable survivors take the MBB fast path.
 		g, ok := regions[it.ID]
 		if !ok {
 			return nil, fmt.Errorf("index: no geometry for indexed id %q", it.ID)
 		}
-		rel, err := core.ComputeCDR(g, reference)
+		p, err := core.Prepare(it.ID, g)
 		if err != nil {
 			return nil, fmt.Errorf("index: refining %q: %w", it.ID, err)
 		}
-		if allowed.Contains(rel) {
+		if allowed.Contains(p.RelateGrid(grid, sc)) {
 			out = append(out, it.ID)
 		}
 	}

@@ -164,6 +164,44 @@ func (g *Generator) Country(cx, cy, size float64, mainlandEdges, islands int) ge
 	return out
 }
 
+// Scatter returns n regions spread over a square window whose side grows
+// with √n, with a deliberate mix of bounding-box configurations for batch
+// (all-pairs) workloads: radii spanning an order of magnitude (many
+// strictly-disjoint box pairs — the batch engine's perimeter fast path),
+// periodic multi-component regions, and periodic small regions nested
+// inside the previous region's bounding box (the contained-MBB fast path).
+func (g *Generator) Scatter(n, edgesPerRegion int) []geom.Region {
+	if n < 1 {
+		panic("workload: Scatter needs at least one region")
+	}
+	e := maxInt(3, edgesPerRegion)
+	side := math.Sqrt(float64(n)) * 10
+	out := make([]geom.Region, 0, n)
+	for i := 0; i < n; i++ {
+		cx := g.uniform(0, side)
+		cy := g.uniform(0, side)
+		r := g.uniform(0.5, 6)
+		switch {
+		case i%7 == 3:
+			// Two-component region: islands east of the mainland blob.
+			half := maxInt(3, e/2)
+			out = append(out, geom.Region{
+				g.StarPolygon(cx, cy, 0.3*r, r, half),
+				g.StarPolygon(cx+2.5*r, cy, 0.3*r, r, half),
+			})
+		case i%5 == 2 && i > 0:
+			// Small region strictly inside the previous region's box.
+			prev := out[i-1].BoundingBox()
+			pc := prev.Center()
+			rr := 0.15 * math.Min(prev.Width(), prev.Height())
+			out = append(out, geom.Rgn(g.StarPolygon(pc.X, pc.Y, 0.4*rr, rr, e)))
+		default:
+			out = append(out, geom.Rgn(g.StarPolygon(cx, cy, 0.3*r, r, e)))
+		}
+	}
+	return out
+}
+
 // Pair bundles a primary/reference region pair for relation workloads.
 type Pair struct {
 	A, B geom.Region

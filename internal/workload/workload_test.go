@@ -216,3 +216,36 @@ func TestBoxHelpers(t *testing.T) {
 		t.Errorf("BoxRegion wrong: %v", r)
 	}
 }
+
+func TestScatter(t *testing.T) {
+	g := New(7)
+	regions := g.Scatter(50, 8)
+	if len(regions) != 50 {
+		t.Fatalf("regions = %d, want 50", len(regions))
+	}
+	multi, nested := 0, 0
+	for i, r := range regions {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("region %d invalid: %v", i, err)
+		}
+		if len(r) > 1 {
+			multi++
+		}
+		if i > 0 && regions[i-1].BoundingBox().ContainsRect(r.BoundingBox()) {
+			nested++
+		}
+	}
+	if multi == 0 {
+		t.Error("Scatter produced no multi-component regions")
+	}
+	if nested == 0 {
+		t.Error("Scatter produced no contained-MBB pairs")
+	}
+	// Determinism: equal seeds, equal workloads.
+	again := New(7).Scatter(50, 8)
+	for i := range regions {
+		if regions[i].BoundingBox() != again[i].BoundingBox() {
+			t.Fatalf("region %d differs across equal-seed runs", i)
+		}
+	}
+}
