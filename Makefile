@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench experiments
+.PHONY: check vet build test race bench bench-short experiments
 
 check: vet build race
 
@@ -26,6 +26,11 @@ race:
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# One iteration of every benchmark — a smoke test that the benchmark
+# harness itself still runs; CI wires this next to `make check`.
+bench-short:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
 experiments:
 	$(GO) run ./cmd/cdrbench -quick

@@ -673,3 +673,173 @@ func BenchmarkE16IndexedSelection(b *testing.B) {
 		}
 	})
 }
+
+// --- E19: the zero-allocation quantitative engine ---
+
+// clusterPairsWorkload packs n regions into overlapping groups — the
+// adversarial case for the percent fast path (see workload.Cluster).
+func clusterPairsWorkload(n int) []core.NamedRegion {
+	g := workload.New(20040314)
+	clustered := g.Cluster(n, n/8, 8)
+	regions := make([]core.NamedRegion, n)
+	for i, r := range clustered {
+		regions[i] = core.NamedRegion{Name: fmt.Sprintf("c%04d", i), Region: r}
+	}
+	return regions
+}
+
+// naiveAllPairsPct is the baseline the batch engine is measured against: the
+// pairwise ComputeCDRPct double loop, rebuilding grids and edge tables for
+// every ordered pair and materialising the same []core.PairPercent a caller
+// replacing the batch engine would produce.
+func naiveAllPairsPct(b *testing.B, regions []core.NamedRegion) []core.PairPercent {
+	b.Helper()
+	n := len(regions)
+	out := make([]core.PairPercent, 0, n*(n-1))
+	for _, p := range regions {
+		for _, q := range regions {
+			if p.Name == q.Name {
+				continue
+			}
+			m, areas, err := core.ComputeCDRPct(p.Region, q.Region)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, core.PairPercent{Primary: p.Name, Reference: q.Name, Matrix: m, Areas: areas})
+		}
+	}
+	return out
+}
+
+func benchmarkAllPairsPct(b *testing.B, regions []core.NamedRegion, opt core.BatchOptions) {
+	n := len(regions)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := core.ComputeAllPairsPctOpt(regions, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != n*(n-1) {
+			b.Fatalf("pairs = %d, want %d", len(out), n*(n-1))
+		}
+	}
+	b.ReportMetric(float64(n*(n-1)), "pairs/op")
+}
+
+// BenchmarkAllPairsPctNaive is the seed path: pairwise Compute-CDR% with all
+// per-pair setup repaid every time.
+func BenchmarkAllPairsPctNaive(b *testing.B) {
+	regions := allPairsWorkload(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naiveAllPairsPct(b, regions)
+	}
+}
+
+// BenchmarkAllPairsPctPruned isolates the prepared engine with the
+// cached-area fast path: one worker, zero steady-state allocations.
+func BenchmarkAllPairsPctPruned(b *testing.B) {
+	benchmarkAllPairsPct(b, allPairsWorkload(200), core.BatchOptions{Workers: 1})
+}
+
+// BenchmarkAllPairsPctParallel is the production path: fast path plus the
+// GOMAXPROCS worker pool (ComputeAllPairsPctParallel).
+func BenchmarkAllPairsPctParallel(b *testing.B) {
+	benchmarkAllPairsPct(b, allPairsWorkload(200), core.BatchOptions{})
+}
+
+// BenchmarkAllPairsPctParallelNoPrune isolates the pool's contribution with
+// the fast path disabled.
+func BenchmarkAllPairsPctParallelNoPrune(b *testing.B) {
+	benchmarkAllPairsPct(b, allPairsWorkload(200), core.BatchOptions{NoPrune: true})
+}
+
+// BenchmarkAllPairsPctCluster runs the production path on the clustered
+// workload, where overlapping boxes defeat most fast-path hits.
+func BenchmarkAllPairsPctCluster(b *testing.B) {
+	benchmarkAllPairsPct(b, clusterPairsWorkload(200), core.BatchOptions{})
+}
+
+// TestE19PctBatchWins asserts the tentpole acceptance criterion: on the
+// 200-region scatter workload the prepared parallel percent batch must be at
+// least 3x faster than the naive pairwise ComputeCDRPct loop.
+func TestE19PctBatchWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based; skipped in -short")
+	}
+	regions := allPairsWorkload(200)
+	naive := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			naiveAllPairsPct(b, regions)
+		}
+	})
+	batch := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ComputeAllPairsPctOpt(regions, core.BatchOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup := float64(naive.NsPerOp()) / float64(batch.NsPerOp())
+	// Under -race the instrumentation taxes the tight accumulation loops far
+	// more than the naive path's allocations, so only the direction holds.
+	want := 3.0
+	if raceEnabled {
+		want = 1.0
+	}
+	if speedup < want {
+		t.Errorf("percent batch speedup = %.2fx (naive %d ns, batch %d ns), want ≥ %.0fx",
+			speedup, naive.NsPerOp(), batch.NsPerOp(), want)
+	} else {
+		t.Logf("percent batch speedup = %.2fx", speedup)
+	}
+}
+
+// TestE19SelectPrunes asserts the query-side acceptance criterion: on a
+// scatter workload DirectionalSelect visits strictly fewer candidates than
+// the index holds, with results identical to the naive scan.
+func TestE19SelectPrunes(t *testing.T) {
+	g := workload.New(20040314)
+	scattered := g.Scatter(300, 8)
+	geoms := map[string]geom.Region{}
+	items := make([]index.Item, len(scattered))
+	for i, r := range scattered {
+		id := fmt.Sprintf("r%04d", i)
+		geoms[id] = r
+		items[i] = index.Item{Box: r.BoundingBox(), ID: id}
+	}
+	tree, err := index.BulkLoad(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.BoxRegion(80, 80, 95, 95)
+	allowed := core.NewRelationSet(core.N, core.NE, core.Rel(core.TileN, core.TileNE))
+	got, st, err := index.DirectionalSelectStats(tree, geoms, ref, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates >= len(scattered) {
+		t.Errorf("window queries visited %d of %d candidates — no pruning", st.Candidates, len(scattered))
+	}
+	want := map[string]bool{}
+	for id, r := range geoms {
+		rel, err := core.ComputeCDR(r, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allowed.Contains(rel) {
+			want[id] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("indexed %d matches != naive %d", len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("spurious hit %s", id)
+		}
+	}
+	t.Logf("select stats: %+v", st)
+}

@@ -263,6 +263,9 @@ type (
 	NamedRegion = core.NamedRegion
 	// PairRelation is one batch result entry.
 	PairRelation = core.PairRelation
+	// PairPercent is one quantitative batch result entry: the percent
+	// matrix and per-tile areas of one ordered pair.
+	PairPercent = core.PairPercent
 	// Prepared is a region preprocessed for repeated relation computation:
 	// clockwise-normalised, edges flattened, bounding box and tile grid
 	// precomputed. Immutable after Prepare; safe for concurrent use.
@@ -294,8 +297,24 @@ var (
 	PrepareAll = core.PrepareAll
 	// Relate computes the relation between two prepared regions.
 	Relate = core.Relate
-	// FindRelated filters candidates by their relation to a reference.
-	FindRelated = core.FindRelated
+	// RelatePct computes the relation with percentages between two prepared
+	// regions; with a warmed Scratch the steady path is allocation-free.
+	RelatePct = core.RelatePct
+	// ComputeAllPairsPct computes every ordered pair's percent matrix
+	// sequentially through the prepared engine.
+	ComputeAllPairsPct = core.ComputeAllPairsPct
+	// ComputeAllPairsPctParallel is ComputeAllPairsPct on a GOMAXPROCS
+	// worker pool, with identical (deterministic) output.
+	ComputeAllPairsPctParallel = core.ComputeAllPairsPctParallel
+	// ComputeAllPairsPctOpt is the configurable quantitative batch engine;
+	// it also reports instrumentation (fast-path hits, edge counts).
+	ComputeAllPairsPctOpt = core.ComputeAllPairsPctOpt
+	// ComputeAllPairsPctPrepared runs the quantitative batch over
+	// already-prepared regions.
+	ComputeAllPairsPctPrepared = core.ComputeAllPairsPctPrepared
+	// FindRelated filters candidates by their relation to a reference,
+	// pruning through R-tree window queries derived from the allowed tiles.
+	FindRelated = index.FindRelated
 	// FindRelatedParallel is FindRelated on a worker pool, with identical
 	// output.
 	FindRelatedParallel = core.FindRelatedParallel
@@ -329,6 +348,9 @@ type (
 	RTree = index.RTree
 	// IndexItem is one indexed box with an identifier.
 	IndexItem = index.Item
+	// SelectStats instruments one directional selection: candidates
+	// visited by the window queries versus the index size.
+	SelectStats = index.SelectStats
 )
 
 var (
@@ -337,8 +359,11 @@ var (
 	// BulkLoadRTree packs items with sort-tile-recursive loading.
 	BulkLoadRTree = index.BulkLoad
 	// DirectionalSelect finds regions matching a relation set against a
-	// reference, with MBB-level pruning through the index.
+	// reference, pruning candidates with one R-tree window query per
+	// constraint tile before MBB and exact refinement.
 	DirectionalSelect = index.DirectionalSelect
+	// DirectionalSelectStats is DirectionalSelect with instrumentation.
+	DirectionalSelectStats = index.DirectionalSelectStats
 )
 
 // Topological and distance relations (the paper's §5 future-work item 2:

@@ -13,13 +13,19 @@
 //	E16    R-tree-accelerated directional selection (extension)
 //	E17    directions + topology + distance (future work #2)
 //	E18    all-pairs batch engine: sequential vs MBB-pruned vs parallel
+//	E19    zero-allocation percent batch × R-tree query pruning
 //
 // Usage:
 //
-//	cdrbench [-quick] [-seed N] [-only E9]
+//	cdrbench [-quick] [-seed N] [-only E9] [-json]
+//
+// With -json, each experiment that reports machine-readable metrics also
+// writes them to BENCH_<id>.json in the current directory (ns/op, allocs/op,
+// prune rates), for CI trend tracking.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "smaller workloads, faster run")
 	seed := fs.Int64("seed", 20040314, "workload seed")
 	only := fs.String("only", "", "run a single experiment id (e.g. E9 or E4-E5)")
+	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json per experiment with metrics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,9 +63,37 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
 		fmt.Fprintf(stdout, "== %s: %s ==\n%s\n", r.ID, r.Title, r.Body)
+		if *jsonOut && len(r.Metrics) > 0 {
+			if err := writeBenchJSON(r); err != nil {
+				return fmt.Errorf("experiment %s: %w", e.ID, err)
+			}
+		}
 	}
 	if *only != "" && !matched {
 		return fmt.Errorf("unknown experiment %q (known: %s)", *only, strings.Join(experiments.IDs(), ", "))
 	}
 	return nil
+}
+
+// writeBenchJSON serialises one experiment's metrics to BENCH_<id>.json.
+// The id is sanitised for the filesystem (E1-E3 → BENCH_E1-E3.json is fine;
+// anything stranger degrades to underscores).
+func writeBenchJSON(r experiments.Report) error {
+	id := strings.Map(func(c rune) rune {
+		switch {
+		case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			return c
+		}
+		return '_'
+	}, r.ID)
+	payload := struct {
+		ID      string             `json:"id"`
+		Title   string             `json:"title"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{ID: r.ID, Title: r.Title, Metrics: r.Metrics}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+id+".json", append(data, '\n'), 0o644)
 }

@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
+
+	"cardirect/internal/experiments"
 )
 
 func TestOnlySelectsOneExperiment(t *testing.T) {
@@ -44,5 +48,56 @@ func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+func TestJSONFlagWritesMetrics(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	// Direct serialisation of a metrics-bearing report.
+	r := experiments.Report{
+		ID:      "E99-test",
+		Title:   "fixture",
+		Metrics: map[string]float64{"ns_per_op": 12.5, "allocs_per_op": 0},
+	}
+	if err := writeBenchJSON(r); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile("BENCH_E99-test.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		ID      string             `json:"id"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if got.ID != "E99-test" || got.Metrics["ns_per_op"] != 12.5 {
+		t.Errorf("roundtrip mismatch: %+v", got)
+	}
+
+	// A metrics-free experiment with -json writes no file.
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-only", "E9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "BENCH_E99-test.json" {
+			t.Errorf("unexpected file %q", e.Name())
+		}
 	}
 }

@@ -175,25 +175,32 @@ func (img *Image) Validate() error {
 // batch engine emits them.
 func (img *Image) ComputeRelations(withPct bool) error {
 	regions := make([]core.NamedRegion, len(img.Regions))
-	geoms := make(map[string]geom.Region, len(img.Regions))
 	for i := range img.Regions {
-		g := img.Regions[i].Geometry()
-		regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: g}
-		geoms[img.Regions[i].ID] = g
+		regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: img.Regions[i].Geometry()}
 	}
-	pairs, _, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{})
+	ps, err := core.PrepareAll(regions)
 	if err != nil {
 		return fmt.Errorf("config: computing relations: %w", err)
 	}
+	pairs, _, err := core.ComputeAllPairsPrepared(ps, core.BatchOptions{})
+	if err != nil {
+		return fmt.Errorf("config: computing relations: %w", err)
+	}
+	// Both batch engines emit the same name-sorted (primary, reference)
+	// order over the same prepared set, so the quantitative results zip with
+	// the qualitative ones by index.
+	var pcts []core.PairPercent
+	if withPct {
+		pcts, _, err = core.ComputeAllPairsPctPrepared(ps, core.BatchOptions{})
+		if err != nil {
+			return fmt.Errorf("config: computing percentages: %w", err)
+		}
+	}
 	img.Relations = img.Relations[:0]
-	for _, pr := range pairs {
+	for i, pr := range pairs {
 		entry := Relation{Type: pr.Relation.String(), Primary: pr.Primary, Reference: pr.Reference}
 		if withPct {
-			_, areas, err := core.ComputeCDRPct(geoms[pr.Primary], geoms[pr.Reference])
-			if err != nil {
-				return fmt.Errorf("config: computing %s %% %s: %w", pr.Primary, pr.Reference, err)
-			}
-			entry.Pct = encodePct(areas.Percent())
+			entry.Pct = encodePct(pcts[i].Matrix)
 		}
 		img.Relations = append(img.Relations, entry)
 	}

@@ -21,6 +21,11 @@ type Stats struct {
 	// with zero edge splits (see Prepared.relateFast).
 	PruneSingleTile int // mbb(primary) strictly inside one tile → O(1) relation
 	PruneBand       int // mbb(primary) strictly inside one row/column → per-polygon boxes
+
+	// Quantitative prune counters: percent matrices answered from areas
+	// cached at Prepare time with zero edge splits (see relatePctFast).
+	PrunePctTile int // mbb(primary) strictly inside one tile → O(1) matrix
+	PrunePctPoly int // every polygon box strictly inside one tile → O(#polygons)
 }
 
 // Merge adds the counters of other into st; the batch engine uses it to
@@ -34,6 +39,8 @@ func (st *Stats) Merge(other Stats) {
 	st.Intersections += other.Intersections
 	st.PruneSingleTile += other.PruneSingleTile
 	st.PruneBand += other.PruneBand
+	st.PrunePctTile += other.PrunePctTile
+	st.PrunePctPoly += other.PrunePctPoly
 }
 
 // ComputeCDR implements Algorithm Compute-CDR (Fig. 5 of the paper): it

@@ -136,6 +136,111 @@ func FuzzMBBFastPath(f *testing.F) {
 	})
 }
 
+// FuzzMBBFastPathPct is the quantitative sibling of FuzzMBBFastPath: on the
+// same quarter-lattice rectangle workload it cross-checks the cached-area
+// percent fast path against the full Compute-CDR% accumulation, and the
+// whole RelatePct pipeline against the reference ComputeCDRPct.
+func FuzzMBBFastPathPct(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 2.0, 4.0, 0.0, 6.0, 2.0, uint8(1))
+	f.Add(-3.0, 1.0, 0.0, 5.0, 0.0, 0.0, 10.0, 6.0, uint8(1))   // touching x = m1
+	f.Add(2.0, 2.0, 8.0, 4.0, 0.0, 0.0, 10.0, 6.0, uint8(3))    // contained
+	f.Add(-4.0, -2.0, -1.0, 8.0, 0.0, 0.0, 10.0, 6.0, uint8(7)) // west column
+	f.Add(1.0, -9.0, 3.0, -1.0, 0.0, 0.0, 4.0, 4.0, uint8(5))   // touching y = l1
+	f.Fuzz(func(t *testing.T, ax0, ay0, ax1, ay1, bx0, by0, bx1, by1 float64, shape uint8) {
+		q := func(v float64) (float64, bool) {
+			if v != v || v > 64 || v < -64 {
+				return 0, false
+			}
+			return mathRound4(v), true
+		}
+		coords := []*float64{&ax0, &ay0, &ax1, &ay1, &bx0, &by0, &bx1, &by1}
+		for _, c := range coords {
+			v, ok := q(*c)
+			if !ok {
+				t.Skip("out of range")
+			}
+			*c = v
+		}
+		if bx1 <= bx0 || by1 <= by0 {
+			t.Skip("degenerate reference")
+		}
+		if ax1 <= ax0 || ay1 <= ay0 {
+			t.Skip("degenerate primary")
+		}
+		b := geom.Rgn(geom.Poly(
+			geom.Pt(bx0, by1), geom.Pt(bx1, by1), geom.Pt(bx1, by0), geom.Pt(bx0, by0),
+		))
+		a := geom.Region{geom.Poly(
+			geom.Pt(ax0, ay1), geom.Pt(ax1, ay1), geom.Pt(ax1, ay0), geom.Pt(ax0, ay0),
+		)}
+		if shape&1 != 0 { // second rectangle, offset east
+			w, h := ax1-ax0, ay1-ay0
+			a = append(a, geom.Poly(
+				geom.Pt(ax0+2*w, ay1+h), geom.Pt(ax1+2*w, ay1+h), geom.Pt(ax1+2*w, ay0+h), geom.Pt(ax0+2*w, ay0+h),
+			))
+		}
+		if shape&2 != 0 { // triangle hanging south-west
+			tri := geom.Poly(geom.Pt(ax0, ay0), geom.Pt(ax1, ay0), geom.Pt(ax0, ay0-(ay1-ay0)))
+			if tri.SignedArea() != 0 {
+				a = append(a, tri.Clockwise())
+			}
+		}
+		prep, err := Prepare("a", a)
+		if err != nil {
+			t.Skip("unpreparable primary")
+		}
+		grid, err := NewGrid(b.BoundingBox())
+		if err != nil {
+			t.Skip("no grid")
+		}
+		fastAreas, ok := prep.relatePctFast(grid, nil)
+		var fullAreas TileAreas
+		_, err = prep.relatePctFullInto(&fullAreas, grid, &Scratch{}, nil)
+		if err != nil {
+			t.Skip("zero-area primary")
+		}
+		if ok {
+			for _, tile := range Tiles() {
+				if !areaClose(fastAreas[tile], fullAreas[tile]) {
+					t.Fatalf("fast areas %v != full areas %v at %v\nprimary %v\nreference grid %+v",
+						fastAreas, fullAreas, tile, a, grid)
+				}
+			}
+		}
+		// End-to-end: RelatePct must match the reference algorithm.
+		wantM, wantAreas, err := ComputeCDRPct(a, b)
+		if err != nil {
+			t.Skip("reference algorithm rejects the pair")
+		}
+		refP, err := Prepare("b", b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM, gotAreas, err := RelatePct(prep, refP, nil)
+		if err != nil {
+			t.Fatalf("RelatePct: %v", err)
+		}
+		for _, tile := range Tiles() {
+			if !areaClose(gotAreas[tile], wantAreas[tile]) || !pctClose(gotM.Get(tile), wantM.Get(tile)) {
+				t.Fatalf("RelatePct diverges from ComputeCDRPct at %v:\nareas %v vs %v\npcts %v vs %v\nprimary %v reference %v",
+					tile, gotAreas, wantAreas, gotM, wantM, a, b)
+			}
+		}
+	})
+}
+
+// areaClose compares absolute tile areas with a relative-and-absolute
+// floating-point tolerance.
+func areaClose(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-9 || d <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// pctClose compares percentage entries with an absolute tolerance.
+func pctClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-7
+}
+
 // mathRound4 rounds to the nearest quarter (exact in binary floating point).
 func mathRound4(v float64) float64 {
 	return math.Round(v*4) / 4

@@ -45,8 +45,9 @@ func (a TileAreas) Percent() PercentMatrix {
 	if total <= 0 {
 		return m
 	}
+	inv := 100 / total // one division, nine multiplies — this is a hot path
 	for t, v := range a {
-		m.Set(Tile(t), 100*v/total)
+		m.Set(Tile(t), v*inv)
 	}
 	return m
 }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cardirect/internal/geom"
+)
+
+// PairPercent is one entry of a quantitative batch result: the percent
+// matrix (and the per-tile absolute areas behind it) of primary Primary
+// against reference Reference.
+type PairPercent struct {
+	Primary   string
+	Reference string
+	Matrix    PercentMatrix
+	Areas     TileAreas
+}
+
+// ComputeAllPairsPct computes the cardinal direction relation with
+// percentages for every ordered pair of distinct regions — the quantitative
+// counterpart of ComputeAllPairs. Regions are prepared once each; pairs
+// whose polygons all land strictly inside single tiles are answered from
+// areas cached at Prepare time without splitting an edge. Results come back
+// sorted by (primary, reference). This sequential entry point runs on the
+// calling goroutine.
+func ComputeAllPairsPct(regions []NamedRegion) ([]PairPercent, error) {
+	out, _, err := ComputeAllPairsPctOpt(regions, BatchOptions{Workers: 1})
+	return out, err
+}
+
+// ComputeAllPairsPctParallel is ComputeAllPairsPct over a GOMAXPROCS-sized
+// worker pool. The output is deterministic and identical to the sequential
+// path.
+func ComputeAllPairsPctParallel(regions []NamedRegion) ([]PairPercent, error) {
+	out, _, err := ComputeAllPairsPctOpt(regions, BatchOptions{})
+	return out, err
+}
+
+// ComputeAllPairsPctOpt is the configurable quantitative batch engine: it
+// prepares every region once, then computes all ordered pairs' percent
+// matrices with the requested worker count and pruning mode, returning
+// aggregated instrumentation alongside the sorted results.
+func ComputeAllPairsPctOpt(regions []NamedRegion, opt BatchOptions) ([]PairPercent, Stats, error) {
+	if len(regions) < 2 {
+		return nil, Stats{}, nil
+	}
+	ps, err := PrepareAll(regions)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ComputeAllPairsPctPrepared(ps, opt)
+}
+
+// ComputeAllPairsPctPrepared runs the quantitative batch over
+// already-prepared regions. Every region must be usable as a reference
+// (non-degenerate bounding box) and as a quantitative primary (positive
+// area); a region failing either yields a wrapped error up front.
+func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent, Stats, error) {
+	n := len(ps)
+	if n < 2 {
+		return nil, Stats{}, nil
+	}
+	for _, p := range ps {
+		if p.gridErr != nil {
+			return nil, Stats{}, fmt.Errorf("core: region %q: %w", p.Name, p.gridErr)
+		}
+		if p.totalArea <= 0 {
+			return nil, Stats{}, fmt.Errorf("core: region %q has zero area: %w", p.Name, ErrDegenerateRegion)
+		}
+	}
+	// Name-sorted iteration: out[] lands directly in canonical (primary,
+	// reference) order, and each worker's write range is a function of the
+	// claimed row alone (same scheme as the qualitative engine).
+	order := make([]*Prepared, n)
+	copy(order, ps)
+	sort.Slice(order, func(i, j int) bool { return order[i].Name < order[j].Name })
+
+	out := make([]PairPercent, n*(n-1))
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var next atomic.Int64
+	var mu sync.Mutex
+	var total Stats
+	errs := make([]error, n)
+	work := func() {
+		sc := &Scratch{buf: make([]geom.Segment, 0, 8)}
+		var st Stats
+		for {
+			pi := int(next.Add(1) - 1)
+			if pi >= n {
+				break
+			}
+			a := order[pi]
+			row := out[pi*(n-1) : (pi+1)*(n-1)]
+			k := 0
+			for ri := 0; ri < n; ri++ {
+				if ri == pi {
+					continue
+				}
+				b := order[ri]
+				// Fill the slot in place — areas and matrix are written
+				// straight into the output slice instead of copying 72-byte
+				// values through return paths.
+				slot := &row[k]
+				total, err := a.relatePctAreasInto(&slot.Areas, b.grid, opt.NoPrune, sc, &st)
+				if err != nil {
+					errs[pi] = err
+					break
+				}
+				st.Passes++
+				slot.Primary = a.Name
+				slot.Reference = b.Name
+				percentInto(&slot.Matrix, &slot.Areas, total)
+				k++
+			}
+		}
+		mu.Lock()
+		total.Merge(st)
+		mu.Unlock()
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, total, err
+		}
+	}
+	return out, total, nil
+}

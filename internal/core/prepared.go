@@ -29,17 +29,19 @@ type Prepared struct {
 	// Box is mbb(Region).
 	Box geom.Rect
 
-	edges   []geom.Segment // every edge of every polygon, contiguous
-	polys   []preparedPoly // per-polygon metadata, parallel to Region
-	grid    Grid           // tile grid when the region is a reference
-	gridErr error          // non-nil when Box is degenerate (unusable as reference)
-	center  geom.Point     // Box.Center(), hoisted out of the pair loop
-	fastOK  bool           // polygons are sound enough for the band fast path
+	edges     []geom.Segment // every edge of every polygon, contiguous
+	polys     []preparedPoly // per-polygon metadata, parallel to Region
+	grid      Grid           // tile grid when the region is a reference
+	gridErr   error          // non-nil when Box is degenerate (unusable as reference)
+	center    geom.Point     // Box.Center(), hoisted out of the pair loop
+	fastOK    bool           // polygons are sound enough for the band fast path
+	totalArea float64        // summed polygon areas, for the percent fast path
 }
 
 type preparedPoly struct {
 	ring geom.Polygon
 	box  geom.Rect
+	area float64 // the polygon's area, cached for the percent fast path
 }
 
 // Prepare preprocesses a region for repeated relation computation. It fails
@@ -64,8 +66,10 @@ func Prepare(name string, r geom.Region) (*Prepared, error) {
 	box := geom.EmptyRect()
 	for _, poly := range norm {
 		pb := poly.BoundingBox()
+		area := poly.Area()
 		box = box.Union(pb)
-		p.polys = append(p.polys, preparedPoly{ring: poly, box: pb})
+		p.polys = append(p.polys, preparedPoly{ring: poly, box: pb, area: area})
+		p.totalArea += area
 		for i := 0; i < poly.NumEdges(); i++ {
 			e := poly.Edge(i)
 			if e.IsDegenerate() {
@@ -73,7 +77,7 @@ func Prepare(name string, r geom.Region) (*Prepared, error) {
 			}
 			p.edges = append(p.edges, e)
 		}
-		if poly.SignedArea() == 0 {
+		if area == 0 {
 			p.fastOK = false // degenerate rings violate the orientation invariant
 		}
 	}
@@ -119,11 +123,15 @@ func (p *Prepared) Edges() []geom.Segment { return p.edges }
 // reference (it can still be a primary).
 func (p *Prepared) Grid() (Grid, error) { return p.grid, p.gridErr }
 
-// Scratch holds the reusable buffers of one computation thread. Each worker
-// of a parallel batch owns its own Scratch; sharing one across goroutines is
-// a data race. The zero value is ready to use.
+// Scratch holds the reusable buffers of one computation thread: the
+// edge-split buffer shared by Relate and RelatePct, and the per-tile signed
+// accumulators of the quantitative algorithm. Each worker of a parallel
+// batch owns its own Scratch; sharing one across goroutines is a data race.
+// The zero value is ready to use.
 type Scratch struct {
-	buf []geom.Segment
+	buf   []geom.Segment
+	acc   [NumTiles]float64 // per-tile trapezoid accumulators (RelatePct)
+	accBN float64           // B∪N slab accumulator against y = l1 (RelatePct)
 }
 
 // Relate computes the cardinal direction relation a R b of the primary a

@@ -124,10 +124,28 @@ func TestE18Report(t *testing.T) {
 	}
 }
 
+func TestE19Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E19PctBatchAndQueryPruning(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"fast-path hits", "speedup", "candidates"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E19 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	if len(r.Metrics) == 0 {
+		t.Error("E19 report has no metrics")
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 14 {
-		t.Fatalf("entries = %d, want 14 (E1-E3 … E18)", len(entries))
+	if len(entries) != 15 {
+		t.Fatalf("entries = %d, want 15 (E1-E3 … E19)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

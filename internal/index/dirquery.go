@@ -9,16 +9,33 @@ import (
 	"cardirect/internal/geom"
 )
 
+// SelectStats reports the work one directional selection performed; the
+// tests and the E19 experiment use it to verify the R-tree actually prunes
+// (Candidates < Total on bounded constraints) without changing results.
+type SelectStats struct {
+	Total      int  // items in the index
+	Candidates int  // distinct items visited after the window queries
+	MBBMatched int  // candidates surviving MBB-level refinement
+	Exact      int  // exact Compute-CDR refinements performed
+	Matched    int  // final result size
+	FullScan   bool // constraint tiles cover the plane — window pruning impossible
+}
+
 // DirectionalSelect finds the regions whose cardinal direction relation to
 // the reference region is a member of the allowed set, using a three-stage
 // plan a spatial database would use:
 //
-//  1. R-tree window search — the allowed relations' tiles bound where a
-//     matching region's bounding box can possibly lie;
+//  1. R-tree window queries — one per tile mentioned by any allowed
+//     relation ("north of b" → the half-plane strip above mbb(b)); a
+//     matching region lies inside the union of its relation's tiles, so its
+//     bounding box must intersect at least one queried window. Only when
+//     the allowed tiles cover the whole plane does the plan fall back to a
+//     full scan.
 //  2. MBB refinement — the bounding-box relation over-approximates the
 //     exact relation (exact tiles ⊆ MBB tiles), so a candidate survives
 //     only when some allowed relation is a subset of its MBB relation;
-//  3. exact refinement — Compute-CDR on the survivors.
+//  3. exact refinement — Compute-CDR on the survivors through the
+//     prepared-region engine.
 //
 // regions supplies the exact geometry by item id. Results are sorted ids.
 // Every stage is sound (no false dismissals); the tests check equivalence
@@ -29,19 +46,34 @@ func DirectionalSelect(
 	reference geom.Region,
 	allowed core.RelationSet,
 ) ([]string, error) {
+	out, _, err := DirectionalSelectStats(tree, regions, reference, allowed)
+	return out, err
+}
+
+// DirectionalSelectStats is DirectionalSelect with instrumentation.
+func DirectionalSelectStats(
+	tree *RTree,
+	regions map[string]geom.Region,
+	reference geom.Region,
+	allowed core.RelationSet,
+) ([]string, SelectStats, error) {
+	var st SelectStats
+	st.Total = tree.Len()
 	if allowed.IsEmpty() {
-		return nil, fmt.Errorf("index: empty allowed relation set")
+		return nil, st, fmt.Errorf("index: empty allowed relation set")
 	}
 	grid, err := core.NewGrid(reference.BoundingBox())
 	if err != nil {
-		return nil, err
+		return nil, st, err
 	}
 
-	// Stage 1: the window containing every tile mentioned by any allowed
-	// relation. A matching region lies inside the union of its relation's
-	// tiles, hence inside this window.
-	window := windowOfRelations(grid, allowed)
-	candidates := tree.Search(window, nil)
+	// Stage 1: one window query per constraint tile, deduplicated by id.
+	var tiles core.Relation
+	for _, r := range allowed.Relations() {
+		tiles = tiles.Union(r)
+	}
+	candidates := searchTiles(tree, grid, tiles, &st)
+	st.Candidates = len(candidates)
 	allowedRels := allowed.Relations()
 
 	var out []string
@@ -59,37 +91,90 @@ func DirectionalSelect(
 		if !possible {
 			continue
 		}
+		st.MBBMatched++
 		// Stage 3: exact refinement through the prepared-region engine —
 		// the reference grid is reused across survivors, the split buffer
 		// is recycled, and box-separable survivors take the MBB fast path.
 		g, ok := regions[it.ID]
 		if !ok {
-			return nil, fmt.Errorf("index: no geometry for indexed id %q", it.ID)
+			return nil, st, fmt.Errorf("index: no geometry for indexed id %q", it.ID)
 		}
 		p, err := core.Prepare(it.ID, g)
 		if err != nil {
-			return nil, fmt.Errorf("index: refining %q: %w", it.ID, err)
+			return nil, st, fmt.Errorf("index: refining %q: %w", it.ID, err)
 		}
+		st.Exact++
 		if allowed.Contains(p.RelateGrid(grid, sc)) {
 			out = append(out, it.ID)
 		}
 	}
 	sort.Strings(out)
-	return out, nil
+	st.Matched = len(out)
+	return out, st, nil
 }
 
-// windowOfRelations returns the bounding box of the union of every tile
-// used by any relation in the set; unbounded tiles yield ±Inf sides.
-func windowOfRelations(g core.Grid, allowed core.RelationSet) geom.Rect {
-	var tiles core.Relation
-	for _, r := range allowed.Relations() {
-		tiles = tiles.Union(r)
+// FindRelated is the index-driven counterpart of core.FindRelated: it
+// bulk-loads the candidates' bounding boxes into a transient R-tree and
+// answers through DirectionalSelect, so on scatter-like inputs most
+// candidates are dismissed by window queries without their geometry ever
+// being touched. Results are identical to core.FindRelated (sorted names);
+// a candidate with no usable geometry yields a wrapped
+// core.ErrDegenerateRegion like the scan path does.
+func FindRelated(candidates []core.NamedRegion, reference geom.Region, allowed core.RelationSet) ([]string, error) {
+	if allowed.IsEmpty() {
+		return nil, fmt.Errorf("core: empty allowed relation set")
 	}
-	w := geom.EmptyRect()
+	if len(reference) == 0 {
+		return nil, fmt.Errorf("core: reference region is empty")
+	}
+	items := make([]Item, 0, len(candidates))
+	regions := make(map[string]geom.Region, len(candidates))
+	for _, c := range candidates {
+		box := c.Region.BoundingBox()
+		if box.IsEmpty() {
+			// Preserve the scan path's contract: degenerate candidates are
+			// an error, not a silent non-match. Prepare produces the
+			// canonical wrapped sentinel.
+			if _, err := core.Prepare(c.Name, c.Region); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: region %q has empty bounding box: %w", c.Name, core.ErrDegenerateRegion)
+		}
+		items = append(items, Item{Box: box, ID: c.Name})
+		regions[c.Name] = c.Region
+	}
+	tree, err := BulkLoad(items)
+	if err != nil {
+		return nil, err
+	}
+	return DirectionalSelect(tree, regions, reference, allowed)
+}
+
+// searchTiles runs one R-tree window query per constraint tile,
+// deduplicating items that fall in several windows (windows of adjacent
+// tiles share their boundary lines). When the tiles cover all nine cells
+// the union is the whole plane — no window can dismiss anything — so a
+// single full traversal is used instead and FullScan is recorded.
+func searchTiles(tree *RTree, g core.Grid, tiles core.Relation, st *SelectStats) []Item {
+	if tiles == core.RelationMask {
+		st.FullScan = true
+		everything := geom.Rect{
+			MinX: math.Inf(-1), MinY: math.Inf(-1),
+			MaxX: math.Inf(1), MaxY: math.Inf(1),
+		}
+		return tree.Search(everything, nil)
+	}
+	var out []Item
+	seen := make(map[string]bool)
 	for _, t := range tiles.Tiles() {
-		w = w.Union(tileRect(g, t))
+		for _, it := range tree.Search(tileRect(g, t), nil) {
+			if !seen[it.ID] {
+				seen[it.ID] = true
+				out = append(out, it)
+			}
+		}
 	}
-	return w
+	return out
 }
 
 // tileRect returns a tile's extent, with ±Inf for unbounded sides.

@@ -136,25 +136,143 @@ func TestMBBRelationAgainstCore(t *testing.T) {
 	}
 }
 
-func TestWindowOfRelationsCoversMatches(t *testing.T) {
+func TestTileWindowsCoverMatches(t *testing.T) {
 	ref := workload.BoxRegion(0, 0, 10, 6)
 	grid, err := core.NewGrid(ref.BoundingBox())
 	if err != nil {
 		t.Fatal(err)
 	}
 	allowed := core.NewRelationSet(core.SW, core.Rel(core.TileS, core.TileSW))
-	w := windowOfRelations(grid, allowed)
-	// The window must contain any box realising an allowed relation.
-	sw := workload.BoxRegion(-5, -5, -1, -1)
-	if !w.Intersects(sw.BoundingBox()) {
-		t.Errorf("window %v misses a SW match", w)
+	var tiles core.Relation
+	for _, r := range allowed.Relations() {
+		tiles = tiles.Union(r)
 	}
-	// And must exclude far-north boxes when no allowed relation has a
+	anyWindowHits := func(box geom.Rect) bool {
+		for _, tile := range tiles.Tiles() {
+			if tileRect(grid, tile).Intersects(box) {
+				return true
+			}
+		}
+		return false
+	}
+	// Some window must contain any box realising an allowed relation.
+	sw := workload.BoxRegion(-5, -5, -1, -1)
+	if !anyWindowHits(sw.BoundingBox()) {
+		t.Error("tile windows miss a SW match")
+	}
+	// And all must exclude far-north boxes when no allowed relation has a
 	// north tile.
 	n := workload.BoxRegion(2, 100, 4, 102)
-	if w.Intersects(n.BoundingBox()) {
-		t.Errorf("window %v wrongly covers the north", w)
+	if anyWindowHits(n.BoundingBox()) {
+		t.Error("tile windows wrongly cover the north")
 	}
+	// Per-tile windows are tighter than the bounding box of their union:
+	// {SW, S:SW} leaves the east side untouched even though a single
+	// united window would span it.
+	e := workload.BoxRegion(100, 2, 102, 4)
+	if anyWindowHits(e.BoundingBox()) {
+		t.Error("tile windows wrongly cover the east")
+	}
+}
+
+// TestDirectionalSelectStatsPrunes asserts the acceptance property of the
+// indexed plan: on a scatter world with a bounded constraint it visits
+// strictly fewer candidates than the index holds, with results identical to
+// the naive scan; a constraint covering all nine tiles degrades to an
+// explicit full scan, still with identical results.
+func TestDirectionalSelectStatsPrunes(t *testing.T) {
+	tree, regions, ref := buildWorld(t, 200, 7)
+	allowed := core.NewRelationSet(core.N, core.Rel(core.TileN, core.TileNE))
+	got, st, err := DirectionalSelectStats(tree, regions, ref, allowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 200 {
+		t.Fatalf("Total = %d, want 200", st.Total)
+	}
+	if st.Candidates >= st.Total {
+		t.Errorf("window queries visited %d of %d candidates — no pruning", st.Candidates, st.Total)
+	}
+	if st.FullScan {
+		t.Error("bounded constraint should not fall back to a full scan")
+	}
+	if st.MBBMatched > st.Candidates || st.Exact != st.MBBMatched || st.Matched != len(got) {
+		t.Errorf("inconsistent stats: %+v with %d results", st, len(got))
+	}
+	want := naiveSelect(t, regions, ref, allowed)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("pruned results diverge: %v vs %v", got, want)
+	}
+
+	// All nine tiles → the window is the plane → full scan fallback.
+	everything := core.NewRelationSet(core.RelationMask)
+	got, st, err = DirectionalSelectStats(tree, regions, ref, everything)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullScan {
+		t.Error("nine-tile constraint should report FullScan")
+	}
+	if st.Candidates != st.Total {
+		t.Errorf("full scan visited %d of %d", st.Candidates, st.Total)
+	}
+	want = naiveSelect(t, regions, ref, everything)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("full-scan results diverge: %v vs %v", got, want)
+	}
+}
+
+// TestFindRelatedMatchesCore checks the index-driven FindRelated against the
+// core scan implementation on a scatter workload, including the degenerate
+// candidate contract.
+func TestFindRelatedMatchesCore(t *testing.T) {
+	g := workload.New(41)
+	scattered := g.Scatter(150, 8)
+	candidates := make([]core.NamedRegion, len(scattered))
+	for i, r := range scattered {
+		candidates[i] = core.NamedRegion{Name: fmt.Sprintf("r%04d", i), Region: r}
+	}
+	ref := workload.BoxRegion(30, 30, 50, 50)
+	for i, allowed := range []core.RelationSet{
+		core.NewRelationSet(core.SW, core.Rel(core.TileS, core.TileSW)),
+		core.NewRelationSet(core.B),
+		core.NewRelationSet(core.NE, core.E, core.Rel(core.TileNE, core.TileE)),
+	} {
+		want, err := core.FindRelated(candidates, ref, allowed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FindRelated(candidates, ref, allowed)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("set %d: indexed %v != scan %v", i, got, want)
+		}
+	}
+	// A degenerate candidate errors with the wrapped sentinel, like the scan.
+	bad := append([]core.NamedRegion{}, candidates...)
+	bad = append(bad, core.NamedRegion{Name: "empty", Region: geom.Region{}})
+	if _, err := FindRelated(bad, ref, core.NewRelationSet(core.B)); !errorsIsDegenerate(err) {
+		t.Errorf("degenerate candidate: got %v, want wrapped ErrDegenerateRegion", err)
+	}
+}
+
+func errorsIsDegenerate(err error) bool {
+	for ; err != nil; err = unwrap(err) {
+		if err == core.ErrDegenerateRegion {
+			return true
+		}
+	}
+	return false
+}
+
+func unwrap(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
 }
 
 func BenchmarkDirectionalSelect(b *testing.B) {

@@ -7,6 +7,7 @@ import (
 	"cardirect/internal/config"
 	"cardirect/internal/core"
 	"cardirect/internal/geom"
+	"cardirect/internal/index"
 )
 
 // Binding maps query variables to region ids — one query answer.
@@ -19,6 +20,8 @@ type Binding map[string]string
 type Evaluator struct {
 	img      *config.Image
 	geoms    map[string]geom.Region
+	preps    map[string]*core.Prepared
+	sc       *core.Scratch
 	ids      []string
 	relCache map[[2]string]core.Relation
 	pctCache map[[2]string]core.PercentMatrix
@@ -35,6 +38,8 @@ func NewEvaluator(img *config.Image) (*Evaluator, error) {
 	e := &Evaluator{
 		img:      img,
 		geoms:    make(map[string]geom.Region, len(img.Regions)),
+		preps:    make(map[string]*core.Prepared, len(img.Regions)),
+		sc:       &core.Scratch{},
 		relCache: map[[2]string]core.Relation{},
 		pctCache: map[[2]string]core.PercentMatrix{},
 		attrs: map[string]func(*config.Region) string{
@@ -57,6 +62,21 @@ func (e *Evaluator) RegisterAttr(name string, fn func(*config.Region) string) {
 	e.attrs[name] = fn
 }
 
+// prepared returns the region's Prepared form, building and caching it on
+// first use. All repeated-query geometry goes through this cache, so each
+// region is normalised and edge-flattened at most once per evaluator.
+func (e *Evaluator) prepared(id string) (*core.Prepared, error) {
+	if p, ok := e.preps[id]; ok {
+		return p, nil
+	}
+	p, err := core.Prepare(id, e.geoms[id])
+	if err != nil {
+		return nil, err
+	}
+	e.preps[id] = p
+	return p, nil
+}
+
 // Relation returns the cardinal direction relation of primary p versus
 // reference q, computing and caching it on first use. Materialised
 // relations in the configuration are trusted when present.
@@ -72,7 +92,15 @@ func (e *Evaluator) Relation(p, q string) (core.Relation, error) {
 			return r, nil
 		}
 	}
-	r, err := core.ComputeCDR(e.geoms[p], e.geoms[q])
+	pa, err := e.prepared(p)
+	if err != nil {
+		return 0, fmt.Errorf("query: relation %s vs %s: %w", p, q, err)
+	}
+	pb, err := e.prepared(q)
+	if err != nil {
+		return 0, fmt.Errorf("query: relation %s vs %s: %w", p, q, err)
+	}
+	r, err := core.Relate(pa, pb, e.sc)
 	if err != nil {
 		return 0, fmt.Errorf("query: relation %s vs %s: %w", p, q, err)
 	}
@@ -87,7 +115,15 @@ func (e *Evaluator) Percent(p, q string) (core.PercentMatrix, error) {
 	if m, ok := e.pctCache[key]; ok {
 		return m, nil
 	}
-	m, _, err := core.ComputeCDRPct(e.geoms[p], e.geoms[q])
+	pa, err := e.prepared(p)
+	if err != nil {
+		return core.PercentMatrix{}, fmt.Errorf("query: percentages %s vs %s: %w", p, q, err)
+	}
+	pb, err := e.prepared(q)
+	if err != nil {
+		return core.PercentMatrix{}, fmt.Errorf("query: percentages %s vs %s: %w", p, q, err)
+	}
+	m, _, err := core.RelatePct(pa, pb, e.sc)
 	if err != nil {
 		return core.PercentMatrix{}, fmt.Errorf("query: percentages %s vs %s: %w", p, q, err)
 	}
@@ -151,6 +187,45 @@ func (e *Evaluator) Eval(q *Query) ([]Binding, error) {
 			rels = append(rels, cc)
 		case PctCond:
 			pcts = append(pcts, cc)
+		}
+	}
+
+	// Indexed pre-filter: a relation condition whose reference side is
+	// already pinned to one region is a directional selection, so its
+	// primary side can be pruned through R-tree window queries before the
+	// join loop ever binds it. The exact refinement inside FindRelated makes
+	// the filter precise, not just sound. Materialised relations are trusted
+	// over geometry, so the filter only applies when the configuration
+	// carries none; any filter failure just falls back to the unpruned loop,
+	// which surfaces errors with their usual context.
+	if len(e.img.Relations) == 0 {
+		for _, rc := range rels {
+			if rc.Negated || rc.Left == rc.Right {
+				continue
+			}
+			refCand := candidates[rc.Right]
+			if len(refCand) != 1 || len(candidates[rc.Left]) < 2 {
+				continue
+			}
+			refID := refCand[0]
+			named := make([]core.NamedRegion, 0, len(candidates[rc.Left]))
+			selfIn := false
+			for _, id := range candidates[rc.Left] {
+				if id == refID {
+					selfIn = true // handled by the l==r rule, not geometry
+					continue
+				}
+				named = append(named, core.NamedRegion{Name: id, Region: e.geoms[id]})
+			}
+			keep, err := index.FindRelated(named, e.geoms[refID], rc.Rels)
+			if err != nil {
+				continue
+			}
+			if selfIn && rc.Rels.Contains(core.B) {
+				keep = append(keep, refID)
+				sort.Strings(keep)
+			}
+			candidates[rc.Left] = keep
 		}
 	}
 

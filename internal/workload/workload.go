@@ -202,6 +202,42 @@ func (g *Generator) Scatter(n, edgesPerRegion int) []geom.Region {
 	return out
 }
 
+// Cluster returns n regions packed into overlapping groups: group centres
+// are scattered over a window whose side grows with √groups, and each
+// group's members are drawn within one group radius of its centre, so
+// bounding boxes inside a group overlap heavily while distinct groups stay
+// mostly far apart. This is the adversarial counterpart of Scatter for the
+// batch engines — intra-group pairs defeat the MBB fast paths and exercise
+// the full edge-splitting algorithms, while inter-group pairs still prune.
+func (g *Generator) Cluster(n, groups, edgesPerRegion int) []geom.Region {
+	if n < 1 {
+		panic("workload: Cluster needs at least one region")
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > n {
+		groups = n
+	}
+	e := maxInt(3, edgesPerRegion)
+	side := math.Sqrt(float64(groups)) * 40
+	centres := make([]geom.Point, groups)
+	for i := range centres {
+		centres[i] = geom.Pt(g.uniform(0, side), g.uniform(0, side))
+	}
+	const groupR = 4.0
+	out := make([]geom.Region, 0, n)
+	for i := 0; i < n; i++ {
+		c := centres[i%groups]
+		cx := c.X + g.uniform(-0.3, 0.3)*groupR
+		cy := c.Y + g.uniform(-0.3, 0.3)*groupR
+		// Radii close to the group radius: members straddle each other's
+		// bounding boxes instead of nesting strictly inside single tiles.
+		out = append(out, geom.Rgn(g.StarPolygon(cx, cy, 0.6*groupR, groupR, e)))
+	}
+	return out
+}
+
 // Pair bundles a primary/reference region pair for relation workloads.
 type Pair struct {
 	A, B geom.Region

@@ -249,3 +249,45 @@ func TestScatter(t *testing.T) {
 		}
 	}
 }
+
+func TestCluster(t *testing.T) {
+	g := New(11)
+	regions := g.Cluster(60, 6, 8)
+	if len(regions) != 60 {
+		t.Fatalf("regions = %d, want 60", len(regions))
+	}
+	for i, r := range regions {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("region %d invalid: %v", i, err)
+		}
+	}
+	// Round-robin group assignment: members of one group overlap heavily.
+	// Require at least 90% of same-group box pairs to intersect — jitter can
+	// push the odd pair apart, but the groups must stay dense.
+	const groups = 6
+	sameTotal, sameOverlap := 0, 0
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if i%groups != j%groups {
+				continue
+			}
+			sameTotal++
+			if regions[i].BoundingBox().Intersects(regions[j].BoundingBox()) {
+				sameOverlap++
+			}
+		}
+	}
+	if sameTotal == 0 {
+		t.Fatal("no same-group pairs")
+	}
+	if float64(sameOverlap) < 0.9*float64(sameTotal) {
+		t.Errorf("only %d of %d same-group box pairs overlap", sameOverlap, sameTotal)
+	}
+	// Determinism: equal seeds, equal workloads.
+	again := New(11).Cluster(60, 6, 8)
+	for i := range regions {
+		if regions[i].BoundingBox() != again[i].BoundingBox() {
+			t.Fatalf("region %d differs across equal-seed runs", i)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package cardirect
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing thresholds are relaxed when it does: the instrumentation taxes
+// the tight accumulation loops far more than the naive per-pair
+// allocations, so absolute speedup factors are not meaningful under -race.
+const raceEnabled = true
