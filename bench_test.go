@@ -843,3 +843,124 @@ func TestE19SelectPrunes(t *testing.T) {
 	}
 	t.Logf("select stats: %+v", st)
 }
+
+// --- E20: the incremental relation store ---
+
+// storeEditWorkload returns the E20 world plus two alternate geometries the
+// edit benchmarks flip between (every SetGeometry is a real change).
+func storeEditWorkload(n int) (regions []core.NamedRegion, editID string, alts [2]geom.Region) {
+	regions = allPairsWorkload(n)
+	editID = regions[n/2].Name
+	spare := workload.New(99).Scatter(n, 8)
+	alts = [2]geom.Region{spare[0], spare[1]}
+	return regions, editID, alts
+}
+
+// BenchmarkStoreFullRecompute is the edit path the store replaces: a full
+// one-core all-pairs sweep after every change.
+func BenchmarkStoreFullRecompute(b *testing.B) {
+	regions, _, _ := storeEditWorkload(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(500*499), "pairs/op")
+}
+
+// BenchmarkStoreDeltaEdit is the store's edit path: re-prepare one region,
+// recompute its row and column (2(n−1) pairs) on one core.
+func BenchmarkStoreDeltaEdit(b *testing.B) {
+	regions, editID, alts := storeEditWorkload(500)
+	s, err := core.NewRelationStore(regions, core.StoreOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SetGeometry(editID, alts[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*499), "pairs/op")
+}
+
+// BenchmarkStoreDeltaEditPct is the quantitative store's edit path (percent
+// matrices maintained too).
+func BenchmarkStoreDeltaEditPct(b *testing.B) {
+	regions, editID, alts := storeEditWorkload(500)
+	s, err := core.NewRelationStore(regions, core.StoreOptions{Workers: 1, Pct: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SetGeometry(editID, alts[i&1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2*499), "pairs/op")
+}
+
+// BenchmarkOneShotPooledScratch measures the scratch-pool satellite: the
+// one-shot ComputeCDRPct path, which allocated a fresh split buffer and
+// accumulators per call before the pool.
+func BenchmarkOneShotPooledScratch(b *testing.B) {
+	g := workload.New(20040314)
+	c := g.ScalingSweep([]int{64})[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.ComputeCDRPct(c.A, c.B); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestE20StoreDeltaWins asserts the tentpole acceptance criterion: a
+// single-region edit in a 500-region world through the store's delta path
+// must be at least 25x faster than the full one-core batch recompute.
+func TestE20StoreDeltaWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based; skipped in -short")
+	}
+	regions, editID, alts := storeEditWorkload(500)
+	full := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ComputeAllPairsOpt(regions, core.BatchOptions{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	s, err := core.NewRelationStore(regions, core.StoreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := 0
+	delta := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			flip++
+			if err := s.SetGeometry(editID, alts[flip&1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	speedup := float64(full.NsPerOp()) / float64(delta.NsPerOp())
+	// The asymptotic ratio is n/2 = 250; ≥25x leaves an order of magnitude of
+	// slack for machine noise. Under -race the Prepare in the delta path is
+	// taxed disproportionately, so only a reduced bound is asserted.
+	want := 25.0
+	if raceEnabled {
+		want = 10.0
+	}
+	if speedup < want {
+		t.Errorf("store delta speedup = %.1fx (full %d ns, delta %d ns), want ≥ %.0fx",
+			speedup, full.NsPerOp(), delta.NsPerOp(), want)
+	} else {
+		t.Logf("store delta speedup = %.1fx (full %.2f ms, delta %.1f µs)",
+			speedup, float64(full.NsPerOp())/1e6, float64(delta.NsPerOp())/1e3)
+	}
+}

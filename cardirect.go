@@ -275,6 +275,18 @@ type (
 	// BatchOptions tunes the all-pairs batch engine (worker count,
 	// disabling the MBB prune fast path).
 	BatchOptions = core.BatchOptions
+	// RelationStore holds prepared regions plus cached all-pairs relation
+	// (and optionally percent) results, recomputing only the touched row
+	// and column on each region edit.
+	RelationStore = core.RelationStore
+	// StoreOptions tunes a RelationStore (worker count, percent caching).
+	StoreOptions = core.StoreOptions
+	// Tracked binds a configuration document to a maintained RelationStore
+	// and live R-tree: document edits drive store and index deltas.
+	Tracked = config.Tracked
+	// LiveIndex is an R-tree kept in sync under region edits
+	// (add/remove/rename/geometry change).
+	LiveIndex = index.Live
 )
 
 var (
@@ -321,6 +333,20 @@ var (
 	// ErrDegenerateRegion reports a region unusable by the algorithms
 	// (empty, or with no edges); matched with errors.Is.
 	ErrDegenerateRegion = core.ErrDegenerateRegion
+	// NewRelationStore builds a store over named regions, computing the
+	// initial all-pairs matrix through the batch engine.
+	NewRelationStore = core.NewRelationStore
+	// ErrUnknownRegion reports a store operation naming a region the store
+	// does not hold; matched with errors.Is.
+	ErrUnknownRegion = core.ErrUnknownRegion
+	// ErrUnknownConfigRegion is the configuration-layer counterpart for
+	// Image edit methods; matched with errors.Is.
+	ErrUnknownConfigRegion = config.ErrUnknownRegion
+	// Track binds a configuration to a maintained RelationStore and live
+	// index; subsequent Image edits update both incrementally.
+	Track = config.Track
+	// NewLiveIndex builds a maintained R-tree over named regions.
+	NewLiveIndex = index.NewLive
 )
 
 // Geometry interchange and construction helpers.

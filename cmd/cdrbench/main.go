@@ -14,6 +14,7 @@
 //	E17    directions + topology + distance (future work #2)
 //	E18    all-pairs batch engine: sequential vs MBB-pruned vs parallel
 //	E19    zero-allocation percent batch × R-tree query pruning
+//	E20    incremental relation store: single-edit delta vs full recompute
 //
 // Usage:
 //

@@ -41,6 +41,39 @@ type Image struct {
 	File      string     `xml:"file,attr,omitempty"`
 	Regions   []Region   `xml:"Region"`
 	Relations []Relation `xml:"Relation"`
+
+	// watchers are notified after every successful edit-method mutation;
+	// unexported, so encoding/xml round-trips ignore it.
+	watchers []Watcher
+}
+
+// Watcher observes the edit methods of an Image: each callback fires after
+// the corresponding mutation succeeded, with the already-validated new state.
+// Because Image.Validate and the edit methods guarantee simple positive-area
+// polygons, downstream Prepare of a delivered geometry cannot fail — the
+// callbacks therefore return nothing, and observers that maintain fallible
+// state (a RelationStore, an R-tree) record their first error for the owner
+// to inspect (see Tracked.Err).
+type Watcher interface {
+	RegionAdded(id string, g geom.Region)
+	RegionRemoved(id string)
+	RegionRenamed(oldID, newID string)
+	RegionGeometryChanged(id string, g geom.Region)
+}
+
+// Watch subscribes a watcher to this image's edit notifications.
+func (img *Image) Watch(w Watcher) {
+	img.watchers = append(img.watchers, w)
+}
+
+// Unwatch removes a previously subscribed watcher (comparison by identity).
+func (img *Image) Unwatch(w Watcher) {
+	for i, x := range img.watchers {
+		if x == w {
+			img.watchers = append(img.watchers[:i], img.watchers[i+1:]...)
+			return
+		}
+	}
 }
 
 // Region is a named, coloured REG* region given as a set of polygons.

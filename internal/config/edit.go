@@ -1,16 +1,23 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"cardirect/internal/geom"
 )
 
+// ErrUnknownRegion is returned (wrapped, with the offending id) by the edit
+// methods when the addressed region does not exist, so callers maintaining
+// derived state — relation stores, spatial indexes — can branch on
+// errors.Is instead of parsing messages.
+var ErrUnknownRegion = errors.New("config: unknown region")
+
 // AddRegion appends a new region with the given geometry. The id must be
 // unique and non-empty; the geometry must validate. Materialised relations
 // are left untouched (they no longer cover all pairs — call
-// ComputeRelations to refresh).
+// ComputeRelations to refresh); watchers are notified.
 func (img *Image) AddRegion(id, name, color string, g geom.Region) error {
 	if id == "" {
 		return fmt.Errorf("config: empty region id")
@@ -24,12 +31,16 @@ func (img *Image) AddRegion(id, name, color string, g geom.Region) error {
 	r := Region{ID: id, Name: name, Color: color}
 	r.SetGeometry(g)
 	img.Regions = append(img.Regions, r)
+	for _, w := range img.watchers {
+		w.RegionAdded(id, g)
+	}
 	return nil
 }
 
 // RemoveRegion deletes the region with the given id and every materialised
-// relation mentioning it. It reports whether the region existed.
-func (img *Image) RemoveRegion(id string) bool {
+// relation mentioning it, notifying watchers. A missing region yields a
+// wrapped ErrUnknownRegion.
+func (img *Image) RemoveRegion(id string) error {
 	idx := -1
 	for i := range img.Regions {
 		if img.Regions[i].ID == id {
@@ -38,7 +49,7 @@ func (img *Image) RemoveRegion(id string) bool {
 		}
 	}
 	if idx < 0 {
-		return false
+		return fmt.Errorf("config: region %q: %w", id, ErrUnknownRegion)
 	}
 	img.Regions = append(img.Regions[:idx], img.Regions[idx+1:]...)
 	kept := img.Relations[:0]
@@ -48,11 +59,15 @@ func (img *Image) RemoveRegion(id string) bool {
 		}
 	}
 	img.Relations = kept
-	return true
+	for _, w := range img.watchers {
+		w.RegionRemoved(id)
+	}
+	return nil
 }
 
-// RenameRegion changes a region's id, updating materialised relations. The
-// new id must be unique and non-empty.
+// RenameRegion changes a region's id, updating materialised relations and
+// notifying watchers. The new id must be unique and non-empty; a missing
+// region yields a wrapped ErrUnknownRegion.
 func (img *Image) RenameRegion(oldID, newID string) error {
 	if newID == "" {
 		return fmt.Errorf("config: empty new region id")
@@ -65,7 +80,7 @@ func (img *Image) RenameRegion(oldID, newID string) error {
 	}
 	r := img.FindRegion(oldID)
 	if r == nil {
-		return fmt.Errorf("config: region %q not found", oldID)
+		return fmt.Errorf("config: region %q: %w", oldID, ErrUnknownRegion)
 	}
 	r.ID = newID
 	for i := range r.Polygons {
@@ -79,15 +94,19 @@ func (img *Image) RenameRegion(oldID, newID string) error {
 			img.Relations[i].Reference = newID
 		}
 	}
+	for _, w := range img.watchers {
+		w.RegionRenamed(oldID, newID)
+	}
 	return nil
 }
 
 // SetRegionGeometry replaces a region's polygons and drops the materialised
-// relations that mention it (they are stale now).
+// relations that mention it (they are stale now), notifying watchers. A
+// missing region yields a wrapped ErrUnknownRegion.
 func (img *Image) SetRegionGeometry(id string, g geom.Region) error {
 	r := img.FindRegion(id)
 	if r == nil {
-		return fmt.Errorf("config: region %q not found", id)
+		return fmt.Errorf("config: region %q: %w", id, ErrUnknownRegion)
 	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("config: region %q: %w", id, err)
@@ -100,6 +119,9 @@ func (img *Image) SetRegionGeometry(id string, g geom.Region) error {
 		}
 	}
 	img.Relations = kept
+	for _, w := range img.watchers {
+		w.RegionGeometryChanged(id, g)
+	}
 	return nil
 }
 

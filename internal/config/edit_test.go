@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"testing"
 
 	"cardirect/internal/geom"
@@ -46,8 +47,8 @@ func TestRemoveRegion(t *testing.T) {
 	if len(img.Relations) != 2 {
 		t.Fatalf("relations = %d", len(img.Relations))
 	}
-	if !img.RemoveRegion("a") {
-		t.Fatal("RemoveRegion returned false for existing region")
+	if err := img.RemoveRegion("a"); err != nil {
+		t.Fatalf("RemoveRegion failed for existing region: %v", err)
 	}
 	if img.FindRegion("a") != nil {
 		t.Error("region still present after removal")
@@ -55,8 +56,31 @@ func TestRemoveRegion(t *testing.T) {
 	if len(img.Relations) != 0 {
 		t.Errorf("stale relations kept: %v", img.Relations)
 	}
-	if img.RemoveRegion("a") {
-		t.Error("second removal should report false")
+	if err := img.RemoveRegion("a"); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("second removal err = %v, want ErrUnknownRegion", err)
+	}
+}
+
+// TestEditUnknownRegionSentinel pins the error contract: every edit method
+// addressing a missing region reports the wrapped sentinel.
+func TestEditUnknownRegionSentinel(t *testing.T) {
+	img := tinyImage()
+	for _, err := range []error{
+		img.RemoveRegion("ghost"),
+		img.RenameRegion("ghost", "x"),
+		img.SetRegionGeometry("ghost", sqRegion(0, 0, 1, 1)),
+	} {
+		if !errors.Is(err, ErrUnknownRegion) {
+			t.Errorf("err = %v, want ErrUnknownRegion", err)
+		}
+	}
+	// Non-"unknown region" failures must NOT wear the sentinel.
+	if err := img.RenameRegion("a", "b"); errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("collision err should not wrap ErrUnknownRegion: %v", err)
+	}
+	bad := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 1)))
+	if err := img.SetRegionGeometry("a", bad); errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("bad-geometry err should not wrap ErrUnknownRegion: %v", err)
 	}
 }
 

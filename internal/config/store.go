@@ -1,0 +1,153 @@
+package config
+
+import (
+	"fmt"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/index"
+)
+
+// Tracked couples an Image with a core.RelationStore and a maintained
+// index.Live R-tree, kept in sync with the image's edit methods through the
+// Watcher hooks: an AddRegion/RemoveRegion/RenameRegion/SetRegionGeometry
+// call updates the document, delta-updates the relation store (only the
+// touched row and column recompute) and moves the R-tree entry — no O(n²)
+// resweep, no index rebuild. This is the paper's interactive annotation
+// loop (§4) with an O(n) edit path.
+//
+// The watcher callbacks cannot reject an edit, so a failure while applying
+// a delta (it cannot arise from geometry the edit methods accept, since
+// they validate first — but a store fed out-of-band could diverge) is
+// latched into Err and every later edit is ignored until the caller
+// re-syncs. Like the structures it owns, Tracked is single-writer.
+type Tracked struct {
+	img   *Image
+	store *core.RelationStore
+	idx   *index.Live
+	err   error
+}
+
+// Track validates the image and builds the coupled relation store and live
+// index over its current regions (region ids are the store names), then
+// subscribes to the image's edits. Call Close to unsubscribe.
+func Track(img *Image, opt core.StoreOptions) (*Tracked, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	regions := make([]core.NamedRegion, len(img.Regions))
+	for i := range img.Regions {
+		regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: img.Regions[i].Geometry()}
+	}
+	store, err := core.NewRelationStore(regions, opt)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := index.NewLive(regions)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Tracked{img: img, store: store, idx: idx}
+	img.Watch(tr)
+	return tr, nil
+}
+
+// Store returns the maintained relation store.
+func (tr *Tracked) Store() *core.RelationStore { return tr.store }
+
+// Index returns the maintained live R-tree index.
+func (tr *Tracked) Index() *index.Live { return tr.idx }
+
+// Image returns the tracked document.
+func (tr *Tracked) Image() *Image { return tr.img }
+
+// Err returns the first delta-application failure, or nil. A non-nil value
+// means the store and index no longer reflect the image and must be rebuilt
+// with a fresh Track.
+func (tr *Tracked) Err() error { return tr.err }
+
+// Close unsubscribes from the image's edits; the store and index stay
+// readable at their final state.
+func (tr *Tracked) Close() { tr.img.Unwatch(tr) }
+
+// fail latches the first delta failure.
+func (tr *Tracked) fail(err error) {
+	if tr.err == nil && err != nil {
+		tr.err = err
+	}
+}
+
+// RegionAdded implements Watcher.
+func (tr *Tracked) RegionAdded(id string, g geom.Region) {
+	if tr.err != nil {
+		return
+	}
+	if err := tr.store.Add(id, g); err != nil {
+		tr.fail(fmt.Errorf("config: tracking add %q: %w", id, err))
+		return
+	}
+	tr.fail(tr.idx.Add(id, g))
+}
+
+// RegionRemoved implements Watcher.
+func (tr *Tracked) RegionRemoved(id string) {
+	if tr.err != nil {
+		return
+	}
+	if err := tr.store.Remove(id); err != nil {
+		tr.fail(fmt.Errorf("config: tracking remove %q: %w", id, err))
+		return
+	}
+	tr.fail(tr.idx.Remove(id))
+}
+
+// RegionRenamed implements Watcher.
+func (tr *Tracked) RegionRenamed(oldID, newID string) {
+	if tr.err != nil {
+		return
+	}
+	if err := tr.store.Rename(oldID, newID); err != nil {
+		tr.fail(fmt.Errorf("config: tracking rename %q: %w", oldID, err))
+		return
+	}
+	tr.fail(tr.idx.Rename(oldID, newID))
+}
+
+// RegionGeometryChanged implements Watcher.
+func (tr *Tracked) RegionGeometryChanged(id string, g geom.Region) {
+	if tr.err != nil {
+		return
+	}
+	if err := tr.store.SetGeometry(id, g); err != nil {
+		tr.fail(fmt.Errorf("config: tracking geometry %q: %w", id, err))
+		return
+	}
+	tr.fail(tr.idx.SetGeometry(id, g))
+}
+
+// Materialize writes the store's cached relations into the image's Relation
+// list — the store-backed replacement for ComputeRelations after an edit
+// sequence, costing a copy instead of an O(n²) recompute.
+func (tr *Tracked) Materialize(withPct bool) error {
+	if tr.err != nil {
+		return tr.err
+	}
+	pairs := tr.store.Pairs()
+	var pcts []core.PairPercent
+	if withPct {
+		var err error
+		pcts, err = tr.store.PctPairs()
+		if err != nil {
+			return err
+		}
+	}
+	tr.img.Relations = tr.img.Relations[:0]
+	for i, pr := range pairs {
+		entry := Relation{Type: pr.Relation.String(), Primary: pr.Primary, Reference: pr.Reference}
+		if withPct {
+			entry.Pct = encodePct(pcts[i].Matrix)
+		}
+		tr.img.Relations = append(tr.img.Relations, entry)
+	}
+	return nil
+}

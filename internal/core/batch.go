@@ -101,8 +101,9 @@ func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, 
 	var next atomic.Int64
 	var mu sync.Mutex
 	var total Stats
-	work := func() {
-		sc := &Scratch{buf: make([]geom.Segment, 0, 8)}
+	runPool(workers, func() {
+		sc := getScratch()
+		defer putScratch(sc)
 		var st Stats
 		for {
 			pi := int(next.Add(1) - 1)
@@ -126,20 +127,7 @@ func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, 
 		mu.Lock()
 		total.Merge(st)
 		mu.Unlock()
-	}
-	if workers == 1 {
-		work()
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				work()
-			}()
-		}
-		wg.Wait()
-	}
+	})
 	return out, total, nil
 }
 
@@ -181,8 +169,9 @@ func findRelated(candidates []NamedRegion, reference geom.Region, allowed Relati
 	matched := make([]bool, n)
 	errs := make([]error, n)
 	var next atomic.Int64
-	work := func() {
-		sc := &Scratch{buf: make([]geom.Segment, 0, 8)}
+	runPool(workers, func() {
+		sc := getScratch()
+		defer putScratch(sc)
 		for {
 			i := int(next.Add(1) - 1)
 			if i >= n {
@@ -196,20 +185,7 @@ func findRelated(candidates []NamedRegion, reference geom.Region, allowed Relati
 			}
 			matched[i] = allowed.Contains(p.relate(grid, center, false, sc, nil))
 		}
-	}
-	if workers <= 1 {
-		work()
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				work()
-			}()
-		}
-		wg.Wait()
-	}
+	})
 	var out []string
 	for i := range candidates {
 		if errs[i] != nil {

@@ -26,6 +26,11 @@ type Stats struct {
 	// cached at Prepare time with zero edge splits (see relatePctFast).
 	PrunePctTile int // mbb(primary) strictly inside one tile → O(1) matrix
 	PrunePctPoly int // every polygon box strictly inside one tile → O(#polygons)
+
+	// DeltaPairs counts pair computations performed by RelationStore delta
+	// recomputations (2(n−1) per Add/SetGeometry edit); the initial build
+	// and the batch engines leave it zero.
+	DeltaPairs int
 }
 
 // Merge adds the counters of other into st; the batch engine uses it to
@@ -41,6 +46,7 @@ func (st *Stats) Merge(other Stats) {
 	st.PruneBand += other.PruneBand
 	st.PrunePctTile += other.PrunePctTile
 	st.PrunePctPoly += other.PrunePctPoly
+	st.DeltaPairs += other.DeltaPairs
 }
 
 // ComputeCDR implements Algorithm Compute-CDR (Fig. 5 of the paper): it
@@ -83,15 +89,16 @@ func computeCDR(a, b geom.Region) (Relation, Stats, error) {
 	center := grid.Box().Center()
 
 	var rel Relation
-	buf := make([]geom.Segment, 0, 8)
+	sc := getScratch()
+	defer putScratch(sc)
 	for _, p := range a {
 		p = p.Clockwise() // interior-side tie-breaking needs the canonical orientation
 		for i := 0; i < p.NumEdges(); i++ {
 			st.EdgesIn++
 			st.EdgeVisits++
-			buf = grid.SplitEdge(p.Edge(i), buf[:0])
-			st.Intersections += len(buf) - 1
-			for _, s := range buf {
+			sc.buf = grid.SplitEdge(p.Edge(i), sc.buf[:0])
+			st.Intersections += len(sc.buf) - 1
+			for _, s := range sc.buf {
 				st.EdgesOut++
 				rel = rel.With(grid.ClassifySegment(s))
 			}

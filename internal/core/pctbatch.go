@@ -6,8 +6,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-
-	"cardirect/internal/geom"
 )
 
 // PairPercent is one entry of a quantitative batch result: the percent
@@ -92,8 +90,9 @@ func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent
 	var mu sync.Mutex
 	var total Stats
 	errs := make([]error, n)
-	work := func() {
-		sc := &Scratch{buf: make([]geom.Segment, 0, 8)}
+	runPool(workers, func() {
+		sc := getScratch()
+		defer putScratch(sc)
 		var st Stats
 		for {
 			pi := int(next.Add(1) - 1)
@@ -127,20 +126,7 @@ func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent
 		mu.Lock()
 		total.Merge(st)
 		mu.Unlock()
-	}
-	if workers == 1 {
-		work()
-	} else {
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				work()
-			}()
-		}
-		wg.Wait()
-	}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, total, err

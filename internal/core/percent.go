@@ -64,32 +64,37 @@ func computeCDRPct(a, b geom.Region) (PercentMatrix, TileAreas, Stats, error) {
 		return PercentMatrix{}, areas, st, err
 	}
 
-	var acc [NumTiles]float64 // signed accumulators, one per tile
-	var accBN float64         // B∪N slab measured against y = l1
+	// The accumulators and split buffer live in a pooled Scratch, so repeated
+	// one-shot calls stop allocating once the pool is warm.
+	sc := getScratch()
+	defer putScratch(sc)
+	for i := range sc.acc {
+		sc.acc[i] = 0
+	}
+	sc.accBN = 0
 
-	buf := make([]geom.Segment, 0, 8)
 	for _, p := range a {
 		p = p.Clockwise()
 		for i := 0; i < p.NumEdges(); i++ {
 			st.EdgesIn++
 			st.EdgeVisits++
-			buf = grid.SplitEdge(p.Edge(i), buf[:0])
-			st.Intersections += len(buf) - 1
-			for _, s := range buf {
+			sc.buf = grid.SplitEdge(p.Edge(i), sc.buf[:0])
+			st.Intersections += len(sc.buf) - 1
+			for _, s := range sc.buf {
 				st.EdgesOut++
 				t := grid.ClassifySegment(s)
 				switch t {
 				case TileNW, TileW, TileSW:
-					acc[t] += Em(s.A, s.B, grid.M1)
+					sc.acc[t] += Em(s.A, s.B, grid.M1)
 				case TileNE, TileE, TileSE:
-					acc[t] += Em(s.A, s.B, grid.M2)
+					sc.acc[t] += Em(s.A, s.B, grid.M2)
 				case TileS:
-					acc[t] += El(s.A, s.B, grid.L1)
+					sc.acc[t] += El(s.A, s.B, grid.L1)
 				case TileN:
-					acc[t] += El(s.A, s.B, grid.L2)
+					sc.acc[t] += El(s.A, s.B, grid.L2)
 				}
 				if t == TileN || t == TileB {
-					accBN += El(s.A, s.B, grid.L1)
+					sc.accBN += El(s.A, s.B, grid.L1)
 				}
 			}
 		}
@@ -100,10 +105,10 @@ func computeCDRPct(a, b geom.Region) (PercentMatrix, TileAreas, Stats, error) {
 		if t == TileB {
 			continue
 		}
-		areas[t] = abs(acc[t])
+		areas[t] = abs(sc.acc[t])
 	}
 	// area(B) = |area(B+N)| − |area(N)|; clamp tiny negative float residue.
-	if bArea := abs(accBN) - areas[TileN]; bArea > 0 {
+	if bArea := abs(sc.accBN) - areas[TileN]; bArea > 0 {
 		areas[TileB] = bArea
 	}
 
@@ -125,7 +130,8 @@ func RelatePct(a, b *Prepared, sc *Scratch) (PercentMatrix, TileAreas, error) {
 		return PercentMatrix{}, TileAreas{}, b.gridErr
 	}
 	if sc == nil {
-		sc = &Scratch{}
+		sc = getScratch()
+		defer putScratch(sc)
 	}
 	return a.relatePct(b.grid, false, sc, nil)
 }
@@ -134,7 +140,8 @@ func RelatePct(a, b *Prepared, sc *Scratch) (PercentMatrix, TileAreas, error) {
 // arbitrary reference grid. sc may be nil.
 func (p *Prepared) RelatePctGrid(g Grid, sc *Scratch) (PercentMatrix, TileAreas, error) {
 	if sc == nil {
-		sc = &Scratch{}
+		sc = getScratch()
+		defer putScratch(sc)
 	}
 	return p.relatePct(g, false, sc, nil)
 }

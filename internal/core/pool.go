@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sync"
+
+	"cardirect/internal/geom"
+)
+
+// runPool runs work on a pool of the given size. One worker executes on the
+// calling goroutine (no spawn, deterministic profiling); more fan out and
+// join. Every worker runs the same closure — work distribution happens inside
+// work via an atomic claim counter, the scheme shared by the batch engines
+// and the relation store's delta recomputation.
+func runPool(workers int, work func()) {
+	if workers <= 1 {
+		work()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// scratchPool recycles Scratch values for the one-shot convenience paths
+// (ComputeCDR, ComputeCDRPct, Relate with a nil scratch): callers outside the
+// batch engine stop paying one split-buffer allocation per call. Batch
+// workers still own a private Scratch for their whole run — a pool get/put
+// per pair would be pure overhead there.
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &Scratch{buf: make([]geom.Segment, 0, 8)}
+	},
+}
+
+// getScratch takes a warmed Scratch from the pool.
+func getScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// putScratch returns a Scratch to the pool. The split buffer keeps its grown
+// capacity, so steady-state callers converge on zero allocations.
+func putScratch(sc *Scratch) { scratchPool.Put(sc) }

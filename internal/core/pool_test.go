@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+// TestOneShotPooledAllocs pins the scratch-pool satellite: the one-shot
+// convenience paths (ComputeCDR, ComputeCDRPct, Relate/RelatePct with a nil
+// scratch) must allocate nothing once the pool is warm. Inputs are already
+// clockwise so orientation normalisation cannot allocate either.
+func TestOneShotPooledAllocs(t *testing.T) {
+	a := geom.Rgn(workload.Box(2, -8, 8, -2))
+	b := geom.Rgn(workload.Box(0, 0, 10, 6))
+	pa, err := Prepare("a", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Prepare("b", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool and sanity-check the answers once.
+	rel, err := ComputeCDR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != S {
+		t.Fatalf("ComputeCDR = %v, want %v", rel, S)
+	}
+	if _, _, err := ComputeCDRPct(a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, f := range map[string]func(){
+		"ComputeCDR":    func() { _, _ = ComputeCDR(a, b) },
+		"ComputeCDRPct": func() { _, _, _ = ComputeCDRPct(a, b) },
+		"RelateNilSc":   func() { _, _ = Relate(pa, pb, nil) },
+		"RelatePctNilSc": func() {
+			_, _, _ = RelatePct(pa, pb, nil)
+		},
+	} {
+		if avg := testing.AllocsPerRun(50, f); avg > 0 {
+			t.Errorf("%s allocates %.1f objects per call with a warm pool, want 0", name, avg)
+		}
+	}
+}

@@ -144,7 +144,8 @@ func Relate(a, b *Prepared, sc *Scratch) (Relation, error) {
 		return 0, b.gridErr
 	}
 	if sc == nil {
-		sc = &Scratch{}
+		sc = getScratch()
+		defer putScratch(sc)
 	}
 	return a.relate(b.grid, b.center, false, sc, nil), nil
 }
@@ -153,7 +154,8 @@ func Relate(a, b *Prepared, sc *Scratch) (Relation, error) {
 // arbitrary reference grid. sc may be nil.
 func (p *Prepared) RelateGrid(g Grid, sc *Scratch) Relation {
 	if sc == nil {
-		sc = &Scratch{}
+		sc = getScratch()
+		defer putScratch(sc)
 	}
 	return p.relate(g, g.Box().Center(), false, sc, nil)
 }

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cardirect/internal/geom"
+)
+
+// ErrUnknownRegion is returned (wrapped, with the region's name) by
+// RelationStore operations addressing a region the store does not hold.
+// Callers can test for it with errors.Is.
+var ErrUnknownRegion = errors.New("core: unknown region")
+
+// StoreOptions configures a RelationStore.
+type StoreOptions struct {
+	// Workers is the worker-pool size used for the initial build and for
+	// every delta recomputation; values ≤ 0 mean GOMAXPROCS.
+	Workers int
+	// Pct additionally maintains the quantitative results (percent matrix
+	// and per-tile areas) for every ordered pair. It requires every region
+	// to have positive area, like the quantitative batch engine.
+	Pct bool
+}
+
+// pctCell is one quantitative slot of the store's pair matrix.
+type pctCell struct {
+	matrix PercentMatrix
+	areas  TileAreas
+}
+
+// RelationStore is the stateful heart of an interactive CARDIRECT session:
+// it owns the Prepared form of a set of named regions together with the
+// cached cardinal direction relation — and, with StoreOptions.Pct, the
+// percent matrix — of every ordered pair. Where the batch engines answer
+// "annotate this configuration once", the store answers "keep the all-pairs
+// network fresh while regions are added, moved, renamed and deleted": each
+// edit re-prepares only the touched region and recomputes only its row and
+// column (2(n−1) pairs, counted in Stats.DeltaPairs) through the same
+// MBB-pruned worker pool, instead of the O(n²) full sweep.
+//
+// A store is a single-writer structure: concurrent readers are safe only in
+// the absence of a concurrent edit. All query results are deterministic and
+// identical to a from-scratch batch recompute over the current regions.
+type RelationStore struct {
+	opt StoreOptions
+
+	ps   []*Prepared    // slot order: insertion order, compacted on Remove
+	idx  map[string]int // region name → slot
+	rels [][]Relation   // rels[i][j] = relation of ps[i] against ps[j]; diagonal unused
+	pcts [][]pctCell    // parallel quantitative matrix; nil unless opt.Pct
+
+	stats Stats
+}
+
+// NewRelationStore builds a store over the given regions, computing the full
+// all-pairs network once through the batch engines (MBB pruning, worker
+// pool). Region names must be unique and non-empty; every region must be
+// usable as a reference (non-degenerate bounding box), and with opt.Pct as a
+// quantitative primary (positive area).
+func NewRelationStore(regions []NamedRegion, opt StoreOptions) (*RelationStore, error) {
+	ps, err := PrepareAll(regions)
+	if err != nil {
+		return nil, err
+	}
+	s := &RelationStore{opt: opt, idx: make(map[string]int, len(ps))}
+	// Name-sorted initial layout: the batch engines emit row-major
+	// (primary, reference) results over the sorted names, so their output
+	// scatters into the matrix with plain index arithmetic.
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	for i, p := range ps {
+		if err := s.usable(p); err != nil {
+			return nil, err
+		}
+		s.idx[p.Name] = i
+	}
+	s.ps = ps
+	n := len(ps)
+	s.rels = make([][]Relation, n)
+	for i := range s.rels {
+		s.rels[i] = make([]Relation, n)
+	}
+	if opt.Pct {
+		s.pcts = make([][]pctCell, n)
+		for i := range s.pcts {
+			s.pcts[i] = make([]pctCell, n)
+		}
+	}
+	if n < 2 {
+		return s, nil
+	}
+	pairs, st, err := ComputeAllPairsPrepared(ps, BatchOptions{Workers: opt.Workers})
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Merge(st)
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			s.rels[i][j] = pairs[k].Relation
+			k++
+		}
+	}
+	if opt.Pct {
+		pcts, st, err := ComputeAllPairsPctPrepared(ps, BatchOptions{Workers: opt.Workers})
+		if err != nil {
+			return nil, err
+		}
+		s.stats.Merge(st)
+		k = 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				s.pcts[i][j] = pctCell{matrix: pcts[k].Matrix, areas: pcts[k].Areas}
+				k++
+			}
+		}
+	}
+	return s, nil
+}
+
+// usable rejects regions the store cannot hold: degenerate bounding boxes
+// (unusable as a reference) always, zero total area when the store maintains
+// percentages.
+func (s *RelationStore) usable(p *Prepared) error {
+	if p.gridErr != nil {
+		return fmt.Errorf("core: region %q: %w", p.Name, p.gridErr)
+	}
+	if s.opt.Pct && p.totalArea <= 0 {
+		return fmt.Errorf("core: region %q has zero area: %w", p.Name, ErrDegenerateRegion)
+	}
+	return nil
+}
+
+// workers resolves the pool size for a delta touching n regions.
+func (s *RelationStore) workers(n int) int {
+	w := s.opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// recompute refreshes slot i's row (i as primary) and column (i as
+// reference) against every other region — the store's delta unit, 2(n−1)
+// pairs on the worker pool. Pairs not involving slot i are untouched.
+func (s *RelationStore) recompute(i int) error {
+	n := len(s.ps)
+	if n < 2 {
+		return nil
+	}
+	a := s.ps[i]
+	var next atomic.Int64
+	var mu sync.Mutex
+	var total Stats
+	errs := make([]error, n)
+	work := func() {
+		sc := getScratch()
+		defer putScratch(sc)
+		var st Stats
+		for {
+			j := int(next.Add(1) - 1)
+			if j >= n {
+				break
+			}
+			if j == i {
+				continue
+			}
+			b := s.ps[j]
+			// Each worker writes only the cells of its claimed j — row cell
+			// (i, j) and column cell (j, i) — so no two workers race.
+			s.rels[i][j] = a.relate(b.grid, b.center, false, sc, &st)
+			s.rels[j][i] = b.relate(a.grid, a.center, false, sc, &st)
+			st.Passes += 2
+			st.DeltaPairs += 2
+			if s.pcts != nil {
+				cij := &s.pcts[i][j]
+				tot, err := a.relatePctAreasInto(&cij.areas, b.grid, false, sc, &st)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				percentInto(&cij.matrix, &cij.areas, tot)
+				cji := &s.pcts[j][i]
+				tot, err = b.relatePctAreasInto(&cji.areas, a.grid, false, sc, &st)
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				percentInto(&cji.matrix, &cji.areas, tot)
+			}
+		}
+		mu.Lock()
+		total.Merge(st)
+		mu.Unlock()
+	}
+	runPool(s.workers(n), work)
+	s.stats.Merge(total)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Add inserts a new region and computes its relations against every held
+// region — one Prepare plus 2(n−1) pair computations, not a full sweep. The
+// name must be unique and non-empty.
+func (s *RelationStore) Add(name string, r geom.Region) error {
+	if name == "" {
+		return fmt.Errorf("core: empty region name")
+	}
+	if _, ok := s.idx[name]; ok {
+		return fmt.Errorf("core: duplicate region name %q", name)
+	}
+	p, err := Prepare(name, r)
+	if err != nil {
+		return err
+	}
+	if err := s.usable(p); err != nil {
+		return err
+	}
+	i := len(s.ps)
+	s.ps = append(s.ps, p)
+	s.idx[name] = i
+	for j := range s.rels {
+		s.rels[j] = append(s.rels[j], 0)
+	}
+	s.rels = append(s.rels, make([]Relation, i+1))
+	if s.pcts != nil {
+		for j := range s.pcts {
+			s.pcts[j] = append(s.pcts[j], pctCell{})
+		}
+		s.pcts = append(s.pcts, make([]pctCell, i+1))
+	}
+	return s.recompute(i)
+}
+
+// Remove deletes a region and every cached pair mentioning it, shrinking the
+// matrix in O(n) with no recomputation: the surviving pairs are unaffected
+// by the deletion.
+func (s *RelationStore) Remove(name string) error {
+	i, ok := s.idx[name]
+	if !ok {
+		return fmt.Errorf("core: region %q: %w", name, ErrUnknownRegion)
+	}
+	n := len(s.ps)
+	last := n - 1
+	if i != last {
+		// Compact: move the last slot into the vacated one.
+		s.ps[i] = s.ps[last]
+		s.idx[s.ps[i].Name] = i
+		s.rels[i] = s.rels[last]
+		if s.pcts != nil {
+			s.pcts[i] = s.pcts[last]
+		}
+	}
+	s.ps[last] = nil
+	s.ps = s.ps[:last]
+	s.rels[last] = nil
+	s.rels = s.rels[:last]
+	for j := range s.rels {
+		if i != last {
+			s.rels[j][i] = s.rels[j][last]
+		}
+		s.rels[j] = s.rels[j][:last]
+	}
+	if s.pcts != nil {
+		s.pcts[last] = nil
+		s.pcts = s.pcts[:last]
+		for j := range s.pcts {
+			if i != last {
+				s.pcts[j][i] = s.pcts[j][last]
+			}
+			s.pcts[j] = s.pcts[j][:last]
+		}
+	}
+	delete(s.idx, name)
+	return nil
+}
+
+// SetGeometry replaces a region's geometry, re-preparing it and recomputing
+// exactly its row and column — the edit CARDIRECT's interactive move/resize
+// operations map to. On error (degenerate replacement) the store is
+// unchanged.
+func (s *RelationStore) SetGeometry(name string, r geom.Region) error {
+	i, ok := s.idx[name]
+	if !ok {
+		return fmt.Errorf("core: region %q: %w", name, ErrUnknownRegion)
+	}
+	p, err := Prepare(name, r)
+	if err != nil {
+		return err
+	}
+	if err := s.usable(p); err != nil {
+		return err
+	}
+	s.ps[i] = p
+	return s.recompute(i)
+}
+
+// Rename changes a region's name without touching geometry: every cached
+// relation survives, and Stats.DeltaPairs does not move. The new name must
+// be unique and non-empty.
+func (s *RelationStore) Rename(oldName, newName string) error {
+	if newName == "" {
+		return fmt.Errorf("core: empty region name")
+	}
+	i, ok := s.idx[oldName]
+	if !ok {
+		return fmt.Errorf("core: region %q: %w", oldName, ErrUnknownRegion)
+	}
+	if oldName == newName {
+		return nil
+	}
+	if _, ok := s.idx[newName]; ok {
+		return fmt.Errorf("core: duplicate region name %q", newName)
+	}
+	// Prepared values are immutable; renaming installs a shallow copy that
+	// shares the (immutable) geometry buffers.
+	np := *s.ps[i]
+	np.Name = newName
+	s.ps[i] = &np
+	delete(s.idx, oldName)
+	s.idx[newName] = i
+	return nil
+}
+
+// Len returns the number of held regions.
+func (s *RelationStore) Len() int { return len(s.ps) }
+
+// Has reports whether the store holds a region with the given name.
+func (s *RelationStore) Has(name string) bool {
+	_, ok := s.idx[name]
+	return ok
+}
+
+// Names returns the held region names, sorted.
+func (s *RelationStore) Names() []string {
+	out := make([]string, 0, len(s.ps))
+	for _, p := range s.ps {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prepared returns the held Prepared form of a region, or false. The value
+// is shared and must not be mutated.
+func (s *RelationStore) Prepared(name string) (*Prepared, bool) {
+	i, ok := s.idx[name]
+	if !ok {
+		return nil, false
+	}
+	return s.ps[i], true
+}
+
+// pair resolves an ordered pair's slots.
+func (s *RelationStore) pair(primary, reference string) (int, int, error) {
+	i, ok := s.idx[primary]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: region %q: %w", primary, ErrUnknownRegion)
+	}
+	j, ok := s.idx[reference]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: region %q: %w", reference, ErrUnknownRegion)
+	}
+	if i == j {
+		return 0, 0, fmt.Errorf("core: relation of region %q against itself is not stored", primary)
+	}
+	return i, j, nil
+}
+
+// Relation returns the cached cardinal direction relation of primary against
+// reference — an O(1) lookup, never a recomputation.
+func (s *RelationStore) Relation(primary, reference string) (Relation, error) {
+	i, j, err := s.pair(primary, reference)
+	if err != nil {
+		return 0, err
+	}
+	return s.rels[i][j], nil
+}
+
+// Percent returns the cached percent matrix of primary against reference.
+// The store must have been built with StoreOptions.Pct.
+func (s *RelationStore) Percent(primary, reference string) (PercentMatrix, error) {
+	if s.pcts == nil {
+		return PercentMatrix{}, fmt.Errorf("core: store does not maintain percentages (StoreOptions.Pct)")
+	}
+	i, j, err := s.pair(primary, reference)
+	if err != nil {
+		return PercentMatrix{}, err
+	}
+	return s.pcts[i][j].matrix, nil
+}
+
+// Areas returns the cached per-tile areas of primary against reference. The
+// store must have been built with StoreOptions.Pct.
+func (s *RelationStore) Areas(primary, reference string) (TileAreas, error) {
+	if s.pcts == nil {
+		return TileAreas{}, fmt.Errorf("core: store does not maintain percentages (StoreOptions.Pct)")
+	}
+	i, j, err := s.pair(primary, reference)
+	if err != nil {
+		return TileAreas{}, err
+	}
+	return s.pcts[i][j].areas, nil
+}
+
+// sorted returns the slot indices in name order — the canonical output
+// order shared with the batch engines.
+func (s *RelationStore) sorted() []int {
+	ord := make([]int, len(s.ps))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return s.ps[ord[a]].Name < s.ps[ord[b]].Name })
+	return ord
+}
+
+// Pairs returns every cached qualitative pair sorted by (primary,
+// reference) — byte-for-byte the slice ComputeAllPairsParallel would produce
+// over the current regions.
+func (s *RelationStore) Pairs() []PairRelation {
+	ord := s.sorted()
+	n := len(ord)
+	if n < 2 {
+		return nil
+	}
+	out := make([]PairRelation, 0, n*(n-1))
+	for _, i := range ord {
+		for _, j := range ord {
+			if i == j {
+				continue
+			}
+			out = append(out, PairRelation{
+				Primary:   s.ps[i].Name,
+				Reference: s.ps[j].Name,
+				Relation:  s.rels[i][j],
+			})
+		}
+	}
+	return out
+}
+
+// PctPairs returns every cached quantitative pair sorted by (primary,
+// reference), matching ComputeAllPairsPctParallel over the current regions.
+// The store must have been built with StoreOptions.Pct.
+func (s *RelationStore) PctPairs() ([]PairPercent, error) {
+	if s.pcts == nil {
+		return nil, fmt.Errorf("core: store does not maintain percentages (StoreOptions.Pct)")
+	}
+	ord := s.sorted()
+	n := len(ord)
+	if n < 2 {
+		return nil, nil
+	}
+	out := make([]PairPercent, 0, n*(n-1))
+	for _, i := range ord {
+		for _, j := range ord {
+			if i == j {
+				continue
+			}
+			c := &s.pcts[i][j]
+			out = append(out, PairPercent{
+				Primary:   s.ps[i].Name,
+				Reference: s.ps[j].Name,
+				Matrix:    c.matrix,
+				Areas:     c.areas,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Stats returns the cumulative instrumentation of the initial build and
+// every delta since: DeltaPairs counts the pair computations performed by
+// Add/SetGeometry edits (2(n−1) each), the prune counters aggregate across
+// all recomputations.
+func (s *RelationStore) Stats() Stats { return s.stats }

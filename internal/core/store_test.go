@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+// storeWorld is the test's shadow model: the plain NamedRegion slice a
+// from-scratch batch recompute would see after the same edit sequence.
+type storeWorld []NamedRegion
+
+// checkAgainstBatch asserts the store's cached contents — qualitative and
+// quantitative — are what a from-scratch batch recompute over the current
+// regions produces. This is the differential oracle of the acceptance
+// criteria.
+func checkAgainstBatch(t *testing.T, s *RelationStore, w storeWorld) {
+	t.Helper()
+	if s.Len() != len(w) {
+		t.Fatalf("store holds %d regions, world has %d", s.Len(), len(w))
+	}
+	wantRel, _, err := ComputeAllPairsOpt(w, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("oracle qualitative batch: %v", err)
+	}
+	gotRel := s.Pairs()
+	if len(wantRel) == 0 {
+		wantRel = nil
+	}
+	if !reflect.DeepEqual(gotRel, wantRel) {
+		t.Fatalf("store pairs diverged from batch recompute:\n got %v\nwant %v", gotRel, wantRel)
+	}
+	wantPct, _, err := ComputeAllPairsPctOpt(w, BatchOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("oracle quantitative batch: %v", err)
+	}
+	gotPct, err := s.PctPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotPct) != len(wantPct) {
+		t.Fatalf("store pct pairs = %d, want %d", len(gotPct), len(wantPct))
+	}
+	for i := range wantPct {
+		g, want := gotPct[i], wantPct[i]
+		if g.Primary != want.Primary || g.Reference != want.Reference {
+			t.Fatalf("pct pair %d is (%s,%s), want (%s,%s)", i, g.Primary, g.Reference, want.Primary, want.Reference)
+		}
+		if !g.Matrix.ApproxEqual(want.Matrix, 1e-9) {
+			t.Fatalf("%s vs %s: matrix diverged\n%v\nwant\n%v", g.Primary, g.Reference, g.Matrix, want.Matrix)
+		}
+		for tile := range want.Areas {
+			if math.Abs(g.Areas[tile]-want.Areas[tile]) > 1e-9*(1+math.Abs(want.Areas[tile])) {
+				t.Fatalf("%s vs %s: tile %v area %g, want %g", g.Primary, g.Reference, Tile(tile), g.Areas[tile], want.Areas[tile])
+			}
+		}
+	}
+}
+
+// TestRelationStoreDifferential drives a store through a long seeded edit
+// sequence — adds, removes, geometry changes, renames — and proves after
+// every single edit that its contents equal a from-scratch batch recompute.
+func TestRelationStoreDifferential(t *testing.T) {
+	for _, seed := range []int64{3, 20040314} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := storeWorld(batchWorkload(seed, 15))
+			s, err := NewRelationStore(w, StoreOptions{Workers: 2, Pct: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstBatch(t, s, w)
+
+			// A deterministic pool of spare geometries for adds and moves.
+			spare := workload.New(seed + 1).Scatter(64, 8)
+			rng := rand.New(rand.NewSource(seed))
+			nextID := 1000
+			ops := 40
+			if testing.Short() {
+				ops = 12
+			}
+			for op := 0; op < ops; op++ {
+				switch k := rng.Intn(4); {
+				case k == 0 || len(w) < 3: // add
+					name := fmt.Sprintf("r%04d", nextID)
+					nextID++
+					g := spare[rng.Intn(len(spare))]
+					if err := s.Add(name, g); err != nil {
+						t.Fatalf("op %d add %s: %v", op, name, err)
+					}
+					w = append(w, NamedRegion{Name: name, Region: g})
+				case k == 1: // remove
+					i := rng.Intn(len(w))
+					if err := s.Remove(w[i].Name); err != nil {
+						t.Fatalf("op %d remove %s: %v", op, w[i].Name, err)
+					}
+					w = append(w[:i], w[i+1:]...)
+				case k == 2: // set geometry
+					i := rng.Intn(len(w))
+					g := spare[rng.Intn(len(spare))]
+					if err := s.SetGeometry(w[i].Name, g); err != nil {
+						t.Fatalf("op %d setgeom %s: %v", op, w[i].Name, err)
+					}
+					w[i].Region = g
+				default: // rename
+					i := rng.Intn(len(w))
+					name := fmt.Sprintf("r%04d", nextID)
+					nextID++
+					if err := s.Rename(w[i].Name, name); err != nil {
+						t.Fatalf("op %d rename %s: %v", op, w[i].Name, err)
+					}
+					w[i].Name = name
+				}
+				checkAgainstBatch(t, s, w)
+			}
+		})
+	}
+}
+
+// TestRelationStoreDeltaAccounting pins the invalidation granularity via
+// Stats.DeltaPairs: a geometry change recomputes exactly its row and column
+// (2(n−1) pairs), a rename recomputes nothing, a remove shrinks the matrix
+// with no recomputation.
+func TestRelationStoreDeltaAccounting(t *testing.T) {
+	w := batchWorkload(7, 12)
+	n := len(w)
+	s, err := NewRelationStore(w, StoreOptions{Workers: 1, Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().DeltaPairs; got != 0 {
+		t.Fatalf("initial build DeltaPairs = %d, want 0", got)
+	}
+
+	// Geometry change: exactly 2(n−1) pair computations.
+	before := s.Stats().DeltaPairs
+	if err := s.SetGeometry(w[3].Name, geom.Rgn(workload.Box(200, 200, 210, 208))); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Stats().DeltaPairs - before; d != 2*(n-1) {
+		t.Errorf("SetGeometry DeltaPairs delta = %d, want %d", d, 2*(n-1))
+	}
+
+	// Rename: cache preserved, zero recomputation.
+	relBefore, err := s.Relation(w[0].Name, w[1].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = s.Stats().DeltaPairs
+	if err := s.Rename(w[0].Name, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Stats().DeltaPairs - before; d != 0 {
+		t.Errorf("Rename DeltaPairs delta = %d, want 0", d)
+	}
+	relAfter, err := s.Relation("renamed", w[1].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relAfter != relBefore {
+		t.Errorf("rename changed cached relation: %v -> %v", relBefore, relAfter)
+	}
+	if s.Has(w[0].Name) {
+		t.Error("old name still present after rename")
+	}
+
+	// Remove: matrix shrinks to (n−1)(n−2) pairs, zero recomputation.
+	before = s.Stats().DeltaPairs
+	if err := s.Remove(w[5].Name); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Stats().DeltaPairs - before; d != 0 {
+		t.Errorf("Remove DeltaPairs delta = %d, want 0", d)
+	}
+	if got, want := len(s.Pairs()), (n-1)*(n-2); got != want {
+		t.Errorf("pairs after remove = %d, want %d", got, want)
+	}
+
+	// Add: exactly 2(n−1) new pair computations against the n−1 survivors.
+	before = s.Stats().DeltaPairs
+	if err := s.Add("fresh", geom.Rgn(workload.Box(-50, -50, -40, -44))); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Stats().DeltaPairs - before; d != 2*(n-1) {
+		t.Errorf("Add DeltaPairs delta = %d, want %d", d, 2*(n-1))
+	}
+}
+
+// TestRelationStoreErrors covers the error surface: unknown names are
+// ErrUnknownRegion, duplicates and degenerate geometry are rejected with the
+// store untouched.
+func TestRelationStoreErrors(t *testing.T) {
+	w := batchWorkload(11, 6)
+	s, err := NewRelationStore(w, StoreOptions{Workers: 1, Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range []error{
+		s.Remove("nope"),
+		s.SetGeometry("nope", geom.Rgn(workload.Box(0, 0, 1, 1))),
+		s.Rename("nope", "other"),
+		func() error { _, err := s.Relation("nope", w[0].Name); return err }(),
+		func() error { _, err := s.Relation(w[0].Name, "nope"); return err }(),
+		func() error { _, err := s.Percent("nope", w[0].Name); return err }(),
+		func() error { _, err := s.Areas(w[0].Name, "nope"); return err }(),
+	} {
+		if !errors.Is(err, ErrUnknownRegion) {
+			t.Errorf("err = %v, want ErrUnknownRegion", err)
+		}
+	}
+	if err := s.Add(w[0].Name, geom.Rgn(workload.Box(0, 0, 1, 1))); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+	if err := s.Add("", geom.Rgn(workload.Box(0, 0, 1, 1))); err == nil {
+		t.Error("empty-name Add should fail")
+	}
+	if err := s.Rename(w[0].Name, w[1].Name); err == nil {
+		t.Error("Rename onto an existing name should fail")
+	}
+	if _, err := s.Relation(w[0].Name, w[0].Name); err == nil {
+		t.Error("self-relation lookup should fail")
+	}
+
+	// Degenerate replacement geometry: rejected, store unchanged.
+	wantPairs := s.Pairs()
+	line := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)))
+	if err := s.SetGeometry(w[2].Name, line); err == nil {
+		t.Error("degenerate SetGeometry should fail")
+	}
+	if err := s.Add("degenerate", line); err == nil {
+		t.Error("degenerate Add should fail")
+	}
+	if !reflect.DeepEqual(s.Pairs(), wantPairs) {
+		t.Error("failed edit mutated the store")
+	}
+
+	// A qualitative-only store refuses quantitative lookups.
+	q, err := NewRelationStore(w, StoreOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Percent(w[0].Name, w[1].Name); err == nil {
+		t.Error("Percent on a non-Pct store should fail")
+	}
+	if _, err := q.PctPairs(); err == nil {
+		t.Error("PctPairs on a non-Pct store should fail")
+	}
+}
+
+// TestRelationStoreLookups: cached lookups agree with the direct one-shot
+// algorithms, and Percent/Areas stay mutually consistent.
+func TestRelationStoreLookups(t *testing.T) {
+	w := batchWorkload(13, 10)
+	s, err := NewRelationStore(w, StoreOptions{Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]geom.Region{}
+	for _, r := range w {
+		byName[r.Name] = r.Region
+	}
+	for _, a := range w {
+		for _, b := range w {
+			if a.Name == b.Name {
+				continue
+			}
+			got, err := s.Relation(a.Name, b.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ComputeCDR(byName[a.Name], byName[b.Name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%s vs %s: store %v, ComputeCDR %v", a.Name, b.Name, got, want)
+			}
+			m, err := s.Percent(a.Name, b.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantM, _, err := ComputeCDRPct(byName[a.Name], byName[b.Name])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.ApproxEqual(wantM, 1e-9) {
+				t.Fatalf("%s vs %s: store matrix diverged from ComputeCDRPct", a.Name, b.Name)
+			}
+			areas, err := s.Areas(a.Name, b.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.ApproxEqual(areas.Percent(), 1e-9) {
+				t.Fatalf("%s vs %s: Areas and Percent inconsistent", a.Name, b.Name)
+			}
+		}
+	}
+	names := s.Names()
+	if len(names) != len(w) {
+		t.Fatalf("Names() = %d entries, want %d", len(names), len(w))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+	if p, ok := s.Prepared(w[0].Name); !ok || p.Name != w[0].Name {
+		t.Error("Prepared lookup failed")
+	}
+	if _, ok := s.Prepared("nope"); ok {
+		t.Error("Prepared should miss unknown names")
+	}
+}
+
+// TestRelationStoreWorkerCounts: delta recomputation is deterministic across
+// pool sizes (run with -race this also exercises the delta pool for races).
+func TestRelationStoreWorkerCounts(t *testing.T) {
+	w := batchWorkload(17, 20)
+	alt := geom.Rgn(workload.Box(3, 3, 40, 30))
+	var want []PairRelation
+	for _, workers := range []int{1, 2, 4, 16} {
+		s, err := NewRelationStore(w, StoreOptions{Workers: workers, Pct: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetGeometry(w[4].Name, alt); err != nil {
+			t.Fatal(err)
+		}
+		got := s.Pairs()
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: delta output differs", workers)
+		}
+	}
+}
+
+// TestRelationStoreTiny: stores with zero or one region are legal and empty.
+func TestRelationStoreTiny(t *testing.T) {
+	s, err := NewRelationStore(nil, StoreOptions{Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Pairs() != nil {
+		t.Fatal("empty store should hold nothing")
+	}
+	if err := s.Add("a", geom.Rgn(workload.Box(0, 0, 4, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().DeltaPairs; got != 0 {
+		t.Errorf("single-region add DeltaPairs = %d, want 0", got)
+	}
+	if err := s.Add("b", geom.Rgn(workload.Box(10, 0, 14, 4))); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := s.Relation("b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != E {
+		t.Errorf("b vs a = %v, want %v", rel, E)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("store should be empty again")
+	}
+}

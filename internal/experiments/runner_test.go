@@ -142,10 +142,30 @@ func TestE19Report(t *testing.T) {
 	}
 }
 
+func TestE20Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E20StoreDelta(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"store delta", "speedup", "single-region edit"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E20 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	for _, key := range []string{"full_qual_ms", "delta_qual_us", "qual_speedup_1cpu", "delta_pairs"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("E20 metrics missing %q: %v", key, r.Metrics)
+		}
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 15 {
-		t.Fatalf("entries = %d, want 15 (E1-E3 … E19)", len(entries))
+	if len(entries) != 16 {
+		t.Fatalf("entries = %d, want 16 (E1-E3 … E20)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

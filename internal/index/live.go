@@ -1,0 +1,160 @@
+package index
+
+import (
+	"fmt"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+)
+
+// Live is an R-tree kept in sync with an edited region set: where BulkLoad
+// answers "index this configuration once", Live tracks the
+// add/remove/rename/set-geometry deltas of an interactive session and keeps
+// directional selection available between edits without rebuilding. It is
+// the index-layer twin of core.RelationStore and, like it, single-writer.
+type Live struct {
+	tree  *RTree
+	geoms map[string]geom.Region
+	boxes map[string]geom.Rect // the box each id is indexed under
+}
+
+// NewLive bulk-loads a maintained index over the given regions. IDs must be
+// unique and non-empty; every region must have a non-empty bounding box.
+func NewLive(regions []core.NamedRegion) (*Live, error) {
+	l := &Live{
+		geoms: make(map[string]geom.Region, len(regions)),
+		boxes: make(map[string]geom.Rect, len(regions)),
+	}
+	items := make([]Item, 0, len(regions))
+	for _, r := range regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("index: empty region id")
+		}
+		if _, ok := l.geoms[r.Name]; ok {
+			return nil, fmt.Errorf("index: duplicate region id %q", r.Name)
+		}
+		box := r.Region.BoundingBox()
+		if box.IsEmpty() {
+			return nil, fmt.Errorf("index: region %q has an empty bounding box", r.Name)
+		}
+		l.geoms[r.Name] = r.Region
+		l.boxes[r.Name] = box
+		items = append(items, Item{ID: r.Name, Box: box})
+	}
+	tree, err := BulkLoad(items)
+	if err != nil {
+		return nil, err
+	}
+	l.tree = tree
+	return l, nil
+}
+
+// Len returns the number of indexed regions.
+func (l *Live) Len() int { return l.tree.Len() }
+
+// Has reports whether id is indexed.
+func (l *Live) Has(id string) bool {
+	_, ok := l.geoms[id]
+	return ok
+}
+
+// Tree exposes the underlying R-tree for window queries and structural
+// assertions; callers must not mutate it.
+func (l *Live) Tree() *RTree { return l.tree }
+
+// Add indexes a new region. The id must be unique and non-empty, the
+// region's bounding box non-empty.
+func (l *Live) Add(id string, g geom.Region) error {
+	if id == "" {
+		return fmt.Errorf("index: empty region id")
+	}
+	if _, ok := l.geoms[id]; ok {
+		return fmt.Errorf("index: duplicate region id %q", id)
+	}
+	box := g.BoundingBox()
+	if box.IsEmpty() {
+		return fmt.Errorf("index: region %q has an empty bounding box", id)
+	}
+	if err := l.tree.Insert(Item{ID: id, Box: box}); err != nil {
+		return err
+	}
+	l.geoms[id] = g
+	l.boxes[id] = box
+	return nil
+}
+
+// Remove drops a region from the index.
+func (l *Live) Remove(id string) error {
+	box, ok := l.boxes[id]
+	if !ok {
+		return fmt.Errorf("index: region %q not indexed", id)
+	}
+	if !l.tree.Delete(Item{ID: id, Box: box}) {
+		return fmt.Errorf("index: region %q missing from tree (index corrupted)", id)
+	}
+	delete(l.geoms, id)
+	delete(l.boxes, id)
+	return nil
+}
+
+// Rename relabels a region in place: same box, new id.
+func (l *Live) Rename(oldID, newID string) error {
+	if newID == "" {
+		return fmt.Errorf("index: empty region id")
+	}
+	if oldID == newID {
+		return nil
+	}
+	box, ok := l.boxes[oldID]
+	if !ok {
+		return fmt.Errorf("index: region %q not indexed", oldID)
+	}
+	if _, ok := l.geoms[newID]; ok {
+		return fmt.Errorf("index: duplicate region id %q", newID)
+	}
+	if !l.tree.Delete(Item{ID: oldID, Box: box}) {
+		return fmt.Errorf("index: region %q missing from tree (index corrupted)", oldID)
+	}
+	if err := l.tree.Insert(Item{ID: newID, Box: box}); err != nil {
+		return err
+	}
+	l.geoms[newID] = l.geoms[oldID]
+	l.boxes[newID] = box
+	delete(l.geoms, oldID)
+	delete(l.boxes, oldID)
+	return nil
+}
+
+// SetGeometry replaces a region's geometry, moving its index entry to the
+// new bounding box.
+func (l *Live) SetGeometry(id string, g geom.Region) error {
+	oldBox, ok := l.boxes[id]
+	if !ok {
+		return fmt.Errorf("index: region %q not indexed", id)
+	}
+	box := g.BoundingBox()
+	if box.IsEmpty() {
+		return fmt.Errorf("index: region %q has an empty bounding box", id)
+	}
+	if !l.tree.Delete(Item{ID: id, Box: oldBox}) {
+		return fmt.Errorf("index: region %q missing from tree (index corrupted)", id)
+	}
+	if err := l.tree.Insert(Item{ID: id, Box: box}); err != nil {
+		return err
+	}
+	l.geoms[id] = g
+	l.boxes[id] = box
+	return nil
+}
+
+// Select runs the three-stage directional selection plan over the
+// maintained index: window queries per constraint tile, MBB refinement,
+// exact Compute-CDR refinement. Results are sorted ids.
+func (l *Live) Select(reference geom.Region, allowed core.RelationSet) ([]string, error) {
+	return DirectionalSelect(l.tree, l.geoms, reference, allowed)
+}
+
+// SelectStats is Select with instrumentation.
+func (l *Live) SelectStats(reference geom.Region, allowed core.RelationSet) ([]string, SelectStats, error) {
+	return DirectionalSelectStats(l.tree, l.geoms, reference, allowed)
+}

@@ -58,6 +58,15 @@ func (t *RTree) Insert(it Item) error {
 	if it.Box.IsEmpty() {
 		return fmt.Errorf("index: cannot insert an empty box")
 	}
+	t.insertRoot(it)
+	t.size++
+	return nil
+}
+
+// insertRoot runs the insertion descent from the root, growing the tree on
+// a root split. Shared by Insert and Delete's orphan reinsertion (which must
+// not touch size).
+func (t *RTree) insertRoot(it Item) {
 	n1, n2 := t.insert(t.root, it)
 	if n2 != nil {
 		// Root split: grow the tree.
@@ -67,8 +76,90 @@ func (t *RTree) Insert(it Item) error {
 			children: []*node{n1, n2},
 		}
 	}
-	t.size++
-	return nil
+}
+
+// Delete removes the item matching it by ID and box, reporting whether it
+// was found. It condenses the tree on the way back up: nodes falling below
+// the minimum fill are dissolved and their surviving items reinserted, so
+// the fill and balance invariants hold after arbitrary delete sequences —
+// the property the maintained Live index relies on under edit traffic.
+func (t *RTree) Delete(it Item) bool {
+	if it.Box.IsEmpty() {
+		return false
+	}
+	var orphans []Item
+	if !deleteFromNode(t.root, it, &orphans) {
+		return false
+	}
+	t.size--
+	// Shrink the root: an internal root left with one child (or none, after
+	// its last underfull child dissolved) loses a level.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true, box: geom.EmptyRect()}
+	}
+	if t.root.leaf && len(t.root.items) == 0 {
+		t.root.box = geom.EmptyRect()
+	}
+	for _, o := range orphans {
+		t.insertRoot(o)
+	}
+	return true
+}
+
+// deleteFromNode descends into subtrees whose box covers the item, removes
+// it from its leaf, and condenses on the way back: an underfull child is cut
+// out with its remaining items appended to orphans for reinsertion. Boxes
+// along the path are recomputed exactly.
+func deleteFromNode(n *node, it Item, orphans *[]Item) bool {
+	if !n.box.Intersects(it.Box) {
+		return false
+	}
+	if n.leaf {
+		for i, x := range n.items {
+			if x.ID == it.ID && x.Box == it.Box {
+				n.items = append(n.items[:i], n.items[i+1:]...)
+				n.box = geom.EmptyRect()
+				for _, y := range n.items {
+					n.box = n.box.Union(y.Box)
+				}
+				return true
+			}
+		}
+		return false
+	}
+	for ci, c := range n.children {
+		if !deleteFromNode(c, it, orphans) {
+			continue
+		}
+		underfull := len(c.items) < minEntries
+		if !c.leaf {
+			underfull = len(c.children) < minEntries
+		}
+		if underfull {
+			collectItems(c, orphans)
+			n.children = append(n.children[:ci], n.children[ci+1:]...)
+		}
+		n.box = geom.EmptyRect()
+		for _, cc := range n.children {
+			n.box = n.box.Union(cc.box)
+		}
+		return true
+	}
+	return false
+}
+
+// collectItems gathers every item of a dissolved subtree.
+func collectItems(n *node, dst *[]Item) {
+	if n.leaf {
+		*dst = append(*dst, n.items...)
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, dst)
+	}
 }
 
 // insert descends to a leaf, splitting on overflow; it returns the

@@ -23,6 +23,7 @@ type Evaluator struct {
 	preps    map[string]*core.Prepared
 	sc       *core.Scratch
 	ids      []string
+	store    *core.RelationStore
 	relCache map[[2]string]core.Relation
 	pctCache map[[2]string]core.PercentMatrix
 	attrs    map[string]func(*config.Region) string
@@ -62,6 +63,16 @@ func (e *Evaluator) RegisterAttr(name string, fn func(*config.Region) string) {
 	e.attrs[name] = fn
 }
 
+// UseStore wires a maintained core.RelationStore into the evaluator:
+// Relation and Percent answer from its delta-maintained cache — fresher
+// than any materialised Relation elements and never recomputing geometry —
+// falling back to the evaluator's own lazy computation for pairs the store
+// does not hold. The store's region names must be the configuration's
+// region ids (as config.Track arranges). Pass nil to detach.
+func (e *Evaluator) UseStore(s *core.RelationStore) {
+	e.store = s
+}
+
 // prepared returns the region's Prepared form, building and caching it on
 // first use. All repeated-query geometry goes through this cache, so each
 // region is normalised and edge-flattened at most once per evaluator.
@@ -84,6 +95,12 @@ func (e *Evaluator) Relation(p, q string) (core.Relation, error) {
 	key := [2]string{p, q}
 	if r, ok := e.relCache[key]; ok {
 		return r, nil
+	}
+	if e.store != nil && e.store.Has(p) && e.store.Has(q) {
+		if r, err := e.store.Relation(p, q); err == nil {
+			e.relCache[key] = r
+			return r, nil
+		}
 	}
 	if entry, ok := e.img.RelationBetween(p, q); ok {
 		r, err := core.ParseRelation(entry.Type)
@@ -114,6 +131,12 @@ func (e *Evaluator) Percent(p, q string) (core.PercentMatrix, error) {
 	key := [2]string{p, q}
 	if m, ok := e.pctCache[key]; ok {
 		return m, nil
+	}
+	if e.store != nil && e.store.Has(p) && e.store.Has(q) {
+		if m, err := e.store.Percent(p, q); err == nil {
+			e.pctCache[key] = m
+			return m, nil
+		}
 	}
 	pa, err := e.prepared(p)
 	if err != nil {
