@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short experiments
+.PHONY: check vet build test race smoke bench bench-short experiments
 
-check: vet build race
+check: vet build race smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke of the cardirectd binary: build it, serve the Greece
+# fixture on an ephemeral port, hit /healthz and a relation query over
+# the wire, SIGTERM, assert a clean zero exit.
+smoke:
+	$(GO) test -count=1 -run TestCardirectdSmoke ./cmd/cardirectd
 
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:

@@ -272,9 +272,15 @@ type (
 	Prepared = core.Prepared
 	// Scratch holds reusable per-goroutine buffers for Relate.
 	Scratch = core.Scratch
-	// BatchOptions tunes the all-pairs batch engine (worker count,
-	// disabling the MBB prune fast path).
+	// BatchOptions tunes the all-pairs batch engines (worker count,
+	// disabling the MBB prune fast path, pre-prepared regions).
 	BatchOptions = core.BatchOptions
+	// BatchResult is the output of BatchCDR: sorted pair relations plus
+	// aggregated instrumentation.
+	BatchResult = core.BatchResult
+	// BatchPctResult is the output of BatchPct: sorted percent matrices
+	// plus aggregated instrumentation.
+	BatchPctResult = core.BatchPctResult
 	// RelationStore holds prepared regions plus cached all-pairs relation
 	// (and optionally percent) results, recomputing only the touched row
 	// and column on each region edit.
@@ -292,16 +298,31 @@ type (
 var (
 	// NewAccumulator prepares a streaming computation against a reference box.
 	NewAccumulator = core.NewAccumulator
+	// BatchCDR is the consolidated all-pairs batch entry point: every
+	// ordered pair's qualitative relation under a context, with options for
+	// worker count, pruning and pre-prepared regions.
+	BatchCDR = core.BatchCDR
+	// BatchPct is the quantitative counterpart of BatchCDR: every ordered
+	// pair's percent matrix under a context.
+	BatchPct = core.BatchPct
 	// ComputeAllPairs computes every ordered pair's relation sequentially.
+	//
+	// Deprecated: use BatchCDR.
 	ComputeAllPairs = core.ComputeAllPairs
 	// ComputeAllPairsParallel is ComputeAllPairs on a worker pool sized to
 	// GOMAXPROCS, with identical (deterministic) output.
+	//
+	// Deprecated: use BatchCDR.
 	ComputeAllPairsParallel = core.ComputeAllPairsParallel
 	// ComputeAllPairsOpt is the configurable batch engine; it also reports
 	// instrumentation (edge counts, MBB prune hits).
+	//
+	// Deprecated: use BatchCDR.
 	ComputeAllPairsOpt = core.ComputeAllPairsOpt
 	// ComputeAllPairsPrepared runs the batch engine over already-prepared
 	// regions.
+	//
+	// Deprecated: use BatchCDR with BatchOptions.Prepared.
 	ComputeAllPairsPrepared = core.ComputeAllPairsPrepared
 	// Prepare preprocesses one region for repeated Relate calls.
 	Prepare = core.Prepare
@@ -314,15 +335,23 @@ var (
 	RelatePct = core.RelatePct
 	// ComputeAllPairsPct computes every ordered pair's percent matrix
 	// sequentially through the prepared engine.
+	//
+	// Deprecated: use BatchPct.
 	ComputeAllPairsPct = core.ComputeAllPairsPct
 	// ComputeAllPairsPctParallel is ComputeAllPairsPct on a GOMAXPROCS
 	// worker pool, with identical (deterministic) output.
+	//
+	// Deprecated: use BatchPct.
 	ComputeAllPairsPctParallel = core.ComputeAllPairsPctParallel
 	// ComputeAllPairsPctOpt is the configurable quantitative batch engine;
 	// it also reports instrumentation (fast-path hits, edge counts).
+	//
+	// Deprecated: use BatchPct.
 	ComputeAllPairsPctOpt = core.ComputeAllPairsPctOpt
 	// ComputeAllPairsPctPrepared runs the quantitative batch over
 	// already-prepared regions.
+	//
+	// Deprecated: use BatchPct with BatchOptions.Prepared.
 	ComputeAllPairsPctPrepared = core.ComputeAllPairsPctPrepared
 	// FindRelated filters candidates by their relation to a reference,
 	// pruning through R-tree window queries derived from the allowed tiles.
@@ -330,6 +359,9 @@ var (
 	// FindRelatedParallel is FindRelated on a worker pool, with identical
 	// output.
 	FindRelatedParallel = core.FindRelatedParallel
+	// FindRelatedCtx is the context-aware candidate filter behind the
+	// directional-selection endpoints.
+	FindRelatedCtx = core.FindRelatedCtx
 	// ErrDegenerateRegion reports a region unusable by the algorithms
 	// (empty, or with no edges); matched with errors.Is.
 	ErrDegenerateRegion = core.ErrDegenerateRegion
@@ -340,8 +372,12 @@ var (
 	// does not hold; matched with errors.Is.
 	ErrUnknownRegion = core.ErrUnknownRegion
 	// ErrUnknownConfigRegion is the configuration-layer counterpart for
-	// Image edit methods; matched with errors.Is.
+	// Image edit methods; it wraps ErrUnknownRegion, so one errors.Is
+	// check covers both layers.
 	ErrUnknownConfigRegion = config.ErrUnknownRegion
+	// ErrDuplicateRegion reports an Image edit reusing an existing region
+	// id; matched with errors.Is.
+	ErrDuplicateRegion = config.ErrDuplicateRegion
 	// Track binds a configuration to a maintained RelationStore and live
 	// index; subsequent Image edits update both incrementally.
 	Track = config.Track

@@ -1,0 +1,150 @@
+// Command cardirectd serves a CARDIRECT configuration over HTTP/JSON: the
+// paper's interactive tool (§4) as a long-running service. It loads an
+// annotated image (the XML format of the paper's DTD, or the built-in
+// Fig. 11 Greece fixture), builds the delta-maintained relation store and
+// live R-tree behind it, and answers pair relations, directional
+// selections, conjunctive queries and region edits concurrently — see
+// internal/serve for the endpoint surface and API.md for schemas.
+//
+// Usage:
+//
+//	cardirectd -greece                        serve the Fig. 11 fixture
+//	cardirectd -config hellas.xml             serve an XML document
+//	cardirectd -addr :8080 -request-timeout 30s -workers 8 ...
+//
+// The process runs until SIGINT/SIGTERM, then shuts down gracefully:
+// in-flight requests get -shutdown-timeout to finish, new connections are
+// refused, and the exit code is zero only on a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cardirectd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("cardirectd", flag.ContinueOnError)
+	var (
+		addr            = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		configPath      = fs.String("config", "", "CARDIRECT XML configuration to serve")
+		greece          = fs.Bool("greece", false, "serve the built-in Fig. 11 Greece configuration")
+		pct             = fs.Bool("pct", true, "maintain percent matrices (required by pct endpoints)")
+		workers         = fs.Int("workers", 0, "worker-pool size for batch and delta recomputation (0 = GOMAXPROCS)")
+		requestTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = none)")
+		maxBody         = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
+		jsonLogs        = fs.Bool("log-json", false, "emit JSON logs instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var handler slog.Handler
+	if *jsonLogs {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	img, err := loadConfig(*configPath, *greece)
+	if err != nil {
+		return err
+	}
+	tr, err := config.Track(img, core.StoreOptions{Workers: *workers, Pct: *pct})
+	if err != nil {
+		return fmt.Errorf("building relation store: %w", err)
+	}
+	defer tr.Close()
+	logger.Info("configuration loaded",
+		"name", img.Name, "regions", tr.Store().Len(), "pct", *pct)
+
+	srv := serve.New(tr, serve.Options{
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *requestTimeout,
+		Workers:        *workers,
+		Logger:         logger,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so callers of "-addr :0" (the
+	// smoke test, scripts) can discover the port.
+	fmt.Fprintf(stdout, "cardirectd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Info("shutting down", "drain", shutdownTimeout.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	logger.Info("bye")
+	return nil
+}
+
+// loadConfig resolves the served document from the flags.
+func loadConfig(path string, greece bool) (*config.Image, error) {
+	switch {
+	case greece && path != "":
+		return nil, fmt.Errorf("use -config or -greece, not both")
+	case greece:
+		return config.Greece(), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return config.Load(f)
+	default:
+		return nil, fmt.Errorf("no configuration: pass -config <file> or -greece")
+	}
+}

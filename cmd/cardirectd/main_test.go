@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCardirectdSmoke builds the real binary, serves the Greece fixture on
+// an ephemeral port, exercises the health and relation endpoints over the
+// wire, and checks that SIGTERM drains to a zero exit. This is the CI
+// smoke job (make smoke).
+func TestCardirectdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke test in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "cardirectd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building cardirectd: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-greece", "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line on stdout: %v", sc.Err())
+	}
+	line := sc.Text()
+	const prefix = "cardirectd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected stdout line: %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, prefix)
+
+	getJSON := func(path string, out any) {
+		t.Helper()
+		var lastErr error
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(base + path)
+			if err != nil {
+				lastErr = err
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("GET %s: decoding: %v", path, err)
+			}
+			return
+		}
+		t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+	}
+
+	var health struct {
+		Status  string `json:"status"`
+		Regions int    `json:"regions"`
+	}
+	getJSON("/healthz", &health)
+	if health.Status != "ok" || health.Regions != 11 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	var rel struct {
+		Relation string `json:"relation"`
+	}
+	getJSON("/api/relation?primary=attica&reference=peloponnesos", &rel)
+	if rel.Relation == "" {
+		t.Fatal("empty relation")
+	}
+
+	// Graceful shutdown: SIGTERM drains to exit code 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cardirectd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cardirectd did not exit within 15s of SIGTERM")
+	}
+}
+
+// TestRunFlagErrors covers the config-resolution failure modes without
+// binding a socket.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},                              // no configuration
+		{"-greece", "-config", "x.xml"}, // both sources
+		{"-config", filepath.Join(t.TempDir(), "missing.xml")},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+

@@ -5,14 +5,22 @@ import (
 	"fmt"
 	"sort"
 
+	"cardirect/internal/core"
 	"cardirect/internal/geom"
 )
 
 // ErrUnknownRegion is returned (wrapped, with the offending id) by the edit
 // methods when the addressed region does not exist, so callers maintaining
 // derived state — relation stores, spatial indexes — can branch on
-// errors.Is instead of parsing messages.
-var ErrUnknownRegion = errors.New("config: unknown region")
+// errors.Is instead of parsing messages. It wraps core.ErrUnknownRegion, so
+// a single errors.Is(err, core.ErrUnknownRegion) test covers both the
+// configuration layer and the relation store beneath it.
+var ErrUnknownRegion = fmt.Errorf("config: unknown region: %w", core.ErrUnknownRegion)
+
+// ErrDuplicateRegion is returned (wrapped, with the offending id) by
+// AddRegion and RenameRegion when the requested id is already taken —
+// the conflict case HTTP servers map to 409.
+var ErrDuplicateRegion = errors.New("config: duplicate region id")
 
 // AddRegion appends a new region with the given geometry. The id must be
 // unique and non-empty; the geometry must validate. Materialised relations
@@ -23,7 +31,7 @@ func (img *Image) AddRegion(id, name, color string, g geom.Region) error {
 		return fmt.Errorf("config: empty region id")
 	}
 	if img.FindRegion(id) != nil {
-		return fmt.Errorf("config: region id %q already exists", id)
+		return fmt.Errorf("config: region %q: %w", id, ErrDuplicateRegion)
 	}
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("config: region %q: %w", id, err)
@@ -76,7 +84,7 @@ func (img *Image) RenameRegion(oldID, newID string) error {
 		return nil
 	}
 	if img.FindRegion(newID) != nil {
-		return fmt.Errorf("config: region id %q already exists", newID)
+		return fmt.Errorf("config: region %q: %w", newID, ErrDuplicateRegion)
 	}
 	r := img.FindRegion(oldID)
 	if r == nil {

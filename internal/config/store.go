@@ -2,6 +2,7 @@ package config
 
 import (
 	"fmt"
+	"sync"
 
 	"cardirect/internal/core"
 	"cardirect/internal/geom"
@@ -20,8 +21,19 @@ import (
 // a delta (it cannot arise from geometry the edit methods accept, since
 // they validate first — but a store fed out-of-band could diverge) is
 // latched into Err and every later edit is ignored until the caller
-// re-syncs. Like the structures it owns, Tracked is single-writer.
+// re-syncs.
+//
+// Concurrency: Tracked carries an RWMutex so many readers overlap one
+// writer — the contract cardirectd relies on. Mutations must go through
+// Tracked's own edit methods (AddRegion, RemoveRegion, RenameRegion,
+// SetRegionGeometry, Materialize), which take the write side; document
+// reads go through View, which takes the read side. The maintained
+// RelationStore has its own internal lock and stays safe to query directly
+// at any time. Editing the underlying Image directly remains possible (the
+// watcher keeps firing) but forfeits the concurrency guarantee — it is
+// only safe single-threaded, as in the seed's interactive examples.
 type Tracked struct {
+	mu    sync.RWMutex
 	img   *Image
 	store *core.RelationStore
 	idx   *index.Live
@@ -64,11 +76,85 @@ func (tr *Tracked) Image() *Image { return tr.img }
 // Err returns the first delta-application failure, or nil. A non-nil value
 // means the store and index no longer reflect the image and must be rebuilt
 // with a fresh Track.
-func (tr *Tracked) Err() error { return tr.err }
+func (tr *Tracked) Err() error {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return tr.err
+}
 
 // Close unsubscribes from the image's edits; the store and index stay
 // readable at their final state.
-func (tr *Tracked) Close() { tr.img.Unwatch(tr) }
+func (tr *Tracked) Close() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.img.Unwatch(tr)
+}
+
+// View runs fn with the tracked document under the read lock, so it can
+// overlap other readers but never an edit. fn must not mutate the image or
+// retain it past the call; any error is returned verbatim. The maintained
+// store and live index may be used inside fn (their reads nest safely
+// under the read lock), which is how the HTTP layer serves directional
+// selections and queries against a consistent document snapshot.
+func (tr *Tracked) View(fn func(img *Image) error) error {
+	tr.mu.RLock()
+	defer tr.mu.RUnlock()
+	return fn(tr.img)
+}
+
+// AddRegion is Image.AddRegion under the write lock: the document, relation
+// store and live index all advance before any reader observes the new
+// region. A previously latched delta failure short-circuits.
+func (tr *Tracked) AddRegion(id, name, color string, g geom.Region) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return tr.err
+	}
+	if err := tr.img.AddRegion(id, name, color, g); err != nil {
+		return err
+	}
+	return tr.err
+}
+
+// RemoveRegion is Image.RemoveRegion under the write lock.
+func (tr *Tracked) RemoveRegion(id string) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return tr.err
+	}
+	if err := tr.img.RemoveRegion(id); err != nil {
+		return err
+	}
+	return tr.err
+}
+
+// RenameRegion is Image.RenameRegion under the write lock.
+func (tr *Tracked) RenameRegion(oldID, newID string) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return tr.err
+	}
+	if err := tr.img.RenameRegion(oldID, newID); err != nil {
+		return err
+	}
+	return tr.err
+}
+
+// SetRegionGeometry is Image.SetRegionGeometry under the write lock.
+func (tr *Tracked) SetRegionGeometry(id string, g geom.Region) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return tr.err
+	}
+	if err := tr.img.SetRegionGeometry(id, g); err != nil {
+		return err
+	}
+	return tr.err
+}
 
 // fail latches the first delta failure.
 func (tr *Tracked) fail(err error) {
@@ -129,6 +215,8 @@ func (tr *Tracked) RegionGeometryChanged(id string, g geom.Region) {
 // list — the store-backed replacement for ComputeRelations after an edit
 // sequence, costing a copy instead of an O(n²) recompute.
 func (tr *Tracked) Materialize(withPct bool) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
 	if tr.err != nil {
 		return tr.err
 	}

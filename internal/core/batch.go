@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -24,7 +25,7 @@ type PairRelation struct {
 	Relation  Relation
 }
 
-// BatchOptions configures the all-pairs batch engine.
+// BatchOptions configures the all-pairs batch engines (BatchCDR, BatchPct).
 type BatchOptions struct {
 	// Workers is the worker-pool size; values ≤ 0 mean GOMAXPROCS. One
 	// worker runs the whole batch on the calling goroutine.
@@ -32,47 +33,63 @@ type BatchOptions struct {
 	// NoPrune disables the MBB tile-pruning fast path, forcing full
 	// edge-splitting for every pair. Used by benchmarks and ablations.
 	NoPrune bool
+	// Prepared, when non-nil, supplies already-prepared regions: the engine
+	// skips preparation and ignores the regions argument, letting callers
+	// that hold Prepared values (indexes, configuration stores) pay the
+	// normalise/flatten/bbox cost once.
+	Prepared []*Prepared
 }
 
-// ComputeAllPairs computes the cardinal direction relation for every
-// ordered pair of distinct regions — the bulk operation CARDIRECT performs
-// when a configuration is (re)annotated. Regions are prepared (normalised,
-// flattened, bounding-boxed) once each rather than once per pair, and the
-// MBB fast path answers box-separable pairs without splitting a single
-// edge. Results come back sorted by (primary, reference). This sequential
-// entry point runs on the calling goroutine; ComputeAllPairsParallel fans
-// the same computation out over a worker pool.
-func ComputeAllPairs(regions []NamedRegion) ([]PairRelation, error) {
-	out, _, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 1})
-	return out, err
+// BatchResult is the output of one qualitative all-pairs batch: the sorted
+// (primary, reference) pair relations plus the aggregated instrumentation
+// (edge counts, MBB prune hits) of the run.
+type BatchResult struct {
+	Pairs []PairRelation
+	Stats Stats
 }
 
-// ComputeAllPairsParallel is ComputeAllPairs over a GOMAXPROCS-sized worker
-// pool. The output is deterministic and identical to the sequential path.
-func ComputeAllPairsParallel(regions []NamedRegion) ([]PairRelation, error) {
-	out, _, err := ComputeAllPairsOpt(regions, BatchOptions{})
-	return out, err
-}
-
-// ComputeAllPairsOpt is the configurable batch engine: it prepares every
-// region once, then computes all ordered pairs with the requested worker
-// count and pruning mode, returning aggregated instrumentation alongside
-// the sorted results.
-func ComputeAllPairsOpt(regions []NamedRegion, opt BatchOptions) ([]PairRelation, Stats, error) {
-	if len(regions) < 2 {
-		return nil, Stats{}, nil
+// BatchCDR computes the cardinal direction relation for every ordered pair
+// of distinct regions — the bulk operation CARDIRECT performs when a
+// configuration is (re)annotated. It is the single qualitative batch entry
+// point: regions are prepared (normalised, flattened, bounding-boxed) once
+// each unless opt.Prepared supplies them, the MBB fast path answers
+// box-separable pairs without splitting a single edge, and the work fans
+// out over opt.Workers goroutines. The context is checked once per claimed
+// primary row, so a server timeout or cancellation aborts the batch within
+// one row's worth of work; the context's error is returned verbatim for
+// errors.Is. Results come back sorted by (primary, reference). A nil opt
+// means defaults (GOMAXPROCS workers, pruning on).
+func BatchCDR(ctx context.Context, regions []NamedRegion, opt *BatchOptions) (*BatchResult, error) {
+	var o BatchOptions
+	if opt != nil {
+		o = *opt
 	}
-	ps, err := PrepareAll(regions)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ps := o.Prepared
+	if ps == nil {
+		if len(regions) < 2 {
+			return &BatchResult{}, nil
+		}
+		var err error
+		ps, err = PrepareAll(regions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pairs, st, err := batchPrepared(ctx, ps, o)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, err
 	}
-	return ComputeAllPairsPrepared(ps, opt)
+	return &BatchResult{Pairs: pairs, Stats: st}, nil
 }
 
-// ComputeAllPairsPrepared runs the batch over already-prepared regions,
-// letting callers that hold Prepared values (indexes, configuration stores)
-// skip re-preparation. Every region must be usable as a reference.
-func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, Stats, error) {
+// batchPrepared is the qualitative batch engine proper, over prepared
+// regions: name-sorted iteration makes out[] land directly in the canonical
+// (primary, reference) order with no final sort, and makes each worker's
+// write range a function of the claimed row alone.
+func batchPrepared(ctx context.Context, ps []*Prepared, opt BatchOptions) ([]PairRelation, Stats, error) {
 	n := len(ps)
 	if n < 2 {
 		return nil, Stats{}, nil
@@ -82,9 +99,6 @@ func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, 
 			return nil, Stats{}, fmt.Errorf("core: region %q: %w", p.Name, p.gridErr)
 		}
 	}
-	// Name-sorted iteration makes out[] land directly in the canonical
-	// (primary, reference) order with no final sort, and makes each
-	// worker's write range a function of the claimed row alone.
 	order := make([]*Prepared, n)
 	copy(order, ps)
 	sort.Slice(order, func(i, j int) bool { return order[i].Name < order[j].Name })
@@ -110,6 +124,12 @@ func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, 
 			if pi >= n {
 				break
 			}
+			// One context check per claimed row bounds the cancellation
+			// latency to a single primary's sweep without taxing the
+			// per-pair hot loop.
+			if ctx.Err() != nil {
+				break
+			}
 			a := order[pi]
 			row := out[pi*(n-1) : (pi+1)*(n-1)]
 			k := 0
@@ -128,7 +148,50 @@ func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, 
 		total.Merge(st)
 		mu.Unlock()
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
 	return out, total, nil
+}
+
+// ComputeAllPairs computes every ordered pair's relation sequentially.
+//
+// Deprecated: use BatchCDR with BatchOptions{Workers: 1}.
+func ComputeAllPairs(regions []NamedRegion) ([]PairRelation, error) {
+	out, _, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 1})
+	return out, err
+}
+
+// ComputeAllPairsParallel is ComputeAllPairs over a GOMAXPROCS-sized worker
+// pool.
+//
+// Deprecated: use BatchCDR.
+func ComputeAllPairsParallel(regions []NamedRegion) ([]PairRelation, error) {
+	out, _, err := ComputeAllPairsOpt(regions, BatchOptions{})
+	return out, err
+}
+
+// ComputeAllPairsOpt is the configurable batch engine with instrumentation.
+//
+// Deprecated: use BatchCDR, which also reports Stats.
+func ComputeAllPairsOpt(regions []NamedRegion, opt BatchOptions) ([]PairRelation, Stats, error) {
+	res, err := BatchCDR(context.Background(), regions, &opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Pairs, res.Stats, nil
+}
+
+// ComputeAllPairsPrepared runs the batch over already-prepared regions.
+//
+// Deprecated: use BatchCDR with BatchOptions.Prepared.
+func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, Stats, error) {
+	opt.Prepared = ps
+	res, err := BatchCDR(context.Background(), nil, &opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Pairs, res.Stats, nil
 }
 
 // FindRelated returns the names of the candidate regions whose relation to
@@ -137,16 +200,25 @@ func ComputeAllPairsPrepared(ps []*Prepared, opt BatchOptions) ([]PairRelation, 
 // one side varies. A candidate with no usable geometry yields an error
 // wrapping ErrDegenerateRegion rather than a silent non-match.
 func FindRelated(candidates []NamedRegion, reference geom.Region, allowed RelationSet) ([]string, error) {
-	return findRelated(candidates, reference, allowed, 1)
+	return findRelated(context.Background(), candidates, reference, allowed, 1)
 }
 
 // FindRelatedParallel is FindRelated over a GOMAXPROCS-sized worker pool,
 // with identical (sorted, deterministic) output.
 func FindRelatedParallel(candidates []NamedRegion, reference geom.Region, allowed RelationSet) ([]string, error) {
-	return findRelated(candidates, reference, allowed, 0)
+	return findRelated(context.Background(), candidates, reference, allowed, 0)
 }
 
-func findRelated(candidates []NamedRegion, reference geom.Region, allowed RelationSet, workers int) ([]string, error) {
+// FindRelatedCtx is FindRelatedParallel honoring a context: cancellation is
+// observed once per claimed candidate and returned as the context's error.
+func FindRelatedCtx(ctx context.Context, candidates []NamedRegion, reference geom.Region, allowed RelationSet) ([]string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return findRelated(ctx, candidates, reference, allowed, 0)
+}
+
+func findRelated(ctx context.Context, candidates []NamedRegion, reference geom.Region, allowed RelationSet, workers int) ([]string, error) {
 	if allowed.IsEmpty() {
 		return nil, fmt.Errorf("core: empty allowed relation set")
 	}
@@ -177,6 +249,9 @@ func findRelated(candidates []NamedRegion, reference geom.Region, allowed Relati
 			if i >= n {
 				break
 			}
+			if ctx.Err() != nil {
+				break
+			}
 			c := candidates[i]
 			p, err := Prepare(c.Name, c.Region)
 			if err != nil {
@@ -186,6 +261,9 @@ func findRelated(candidates []NamedRegion, reference geom.Region, allowed Relati
 			matched[i] = allowed.Contains(p.relate(grid, center, false, sc, nil))
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []string
 	for i := range candidates {
 		if errs[i] != nil {

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cardirect/internal/workload"
+)
+
+// scatterRegions builds a deterministic named batch workload.
+func scatterRegions(t testing.TB, seed int64, n int) []NamedRegion {
+	t.Helper()
+	scattered := workload.New(seed).Scatter(n, 8)
+	regions := make([]NamedRegion, len(scattered))
+	for i, r := range scattered {
+		regions[i] = NamedRegion{Name: fmt.Sprintf("r%04d", i), Region: r}
+	}
+	return regions
+}
+
+// TestBatchCDRCancelled: a pre-cancelled context aborts the batch before
+// (or within one row of) any work, surfacing context.Canceled via errors.Is.
+func TestBatchCDRCancelled(t *testing.T) {
+	regions := scatterRegions(t, 7, 60)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := BatchCDR(ctx, regions, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchCDR on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The engine may prepare regions before noticing, but must not run the
+	// all-pairs sweep; a generous wall-clock bound catches a missing check
+	// without being timing-flaky.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled batch took %v", d)
+	}
+	if _, err := BatchPct(ctx, regions, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchPct on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchCDRDeadline: an already-expired deadline surfaces
+// context.DeadlineExceeded.
+func TestBatchCDRDeadline(t *testing.T) {
+	regions := scatterRegions(t, 8, 40)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := BatchCDR(ctx, regions, &BatchOptions{NoPrune: true}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("BatchCDR past deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestFindRelatedCtxCancelled covers the candidate-filter engine's check.
+func TestFindRelatedCtxCancelled(t *testing.T) {
+	regions := scatterRegions(t, 9, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := FindRelatedCtx(ctx, regions[1:], regions[0].Region, NewRelationSet(N, S))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindRelatedCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestDeprecatedBatchWrappersDelegate asserts the api_redesign acceptance
+// criterion: the legacy 8-way entry-point fan delegates to BatchCDR /
+// BatchPct with zero behavior change.
+func TestDeprecatedBatchWrappersDelegate(t *testing.T) {
+	regions := scatterRegions(t, 11, 48)
+	ps, err := PrepareAll(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := BatchCDR(context.Background(), regions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPct, err := BatchPct(context.Background(), regions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkQual := func(name string, got []PairRelation, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(want.Pairs) {
+			t.Fatalf("%s: %d pairs, want %d", name, len(got), len(want.Pairs))
+		}
+		for i := range got {
+			if got[i] != want.Pairs[i] {
+				t.Fatalf("%s: pair %d = %+v, want %+v", name, i, got[i], want.Pairs[i])
+			}
+		}
+	}
+	checkPct := func(name string, got []PairPercent, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(wantPct.Pairs) {
+			t.Fatalf("%s: %d pairs, want %d", name, len(got), len(wantPct.Pairs))
+		}
+		for i := range got {
+			if got[i] != wantPct.Pairs[i] {
+				t.Fatalf("%s: pair %d differs", name, i)
+			}
+		}
+	}
+
+	got, err := ComputeAllPairs(regions)
+	checkQual("ComputeAllPairs", got, err)
+	got, err = ComputeAllPairsParallel(regions)
+	checkQual("ComputeAllPairsParallel", got, err)
+	got, st, err := ComputeAllPairsOpt(regions, BatchOptions{Workers: 2})
+	checkQual("ComputeAllPairsOpt", got, err)
+	if st.Passes == 0 {
+		t.Error("ComputeAllPairsOpt: zero Passes in stats")
+	}
+	got, _, err = ComputeAllPairsPrepared(ps, BatchOptions{})
+	checkQual("ComputeAllPairsPrepared", got, err)
+
+	gotPct, err := ComputeAllPairsPct(regions)
+	checkPct("ComputeAllPairsPct", gotPct, err)
+	gotPct, err = ComputeAllPairsPctParallel(regions)
+	checkPct("ComputeAllPairsPctParallel", gotPct, err)
+	gotPct, _, err = ComputeAllPairsPctOpt(regions, BatchOptions{Workers: 2})
+	checkPct("ComputeAllPairsPctOpt", gotPct, err)
+	gotPct, _, err = ComputeAllPairsPctPrepared(ps, BatchOptions{})
+	checkPct("ComputeAllPairsPctPrepared", gotPct, err)
+
+	// BatchOptions.Prepared must match the regions path exactly.
+	res, err := BatchCDR(context.Background(), nil, &BatchOptions{Prepared: ps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQual("BatchCDR(Prepared)", res.Pairs, nil)
+}
+
+// TestBatchCDRNilOptions: nil options and nil context take the defaults.
+func TestBatchCDRNilOptions(t *testing.T) {
+	regions := scatterRegions(t, 12, 10)
+	//lint:ignore SA1012 deliberate nil-context robustness check
+	res, err := BatchCDR(nil, regions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != len(regions)*(len(regions)-1) {
+		t.Fatalf("got %d pairs", len(res.Pairs))
+	}
+	if res.Stats.Passes == 0 {
+		t.Error("stats not aggregated")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,46 +19,53 @@ type PairPercent struct {
 	Areas     TileAreas
 }
 
-// ComputeAllPairsPct computes the cardinal direction relation with
-// percentages for every ordered pair of distinct regions — the quantitative
-// counterpart of ComputeAllPairs. Regions are prepared once each; pairs
-// whose polygons all land strictly inside single tiles are answered from
-// areas cached at Prepare time without splitting an edge. Results come back
-// sorted by (primary, reference). This sequential entry point runs on the
-// calling goroutine.
-func ComputeAllPairsPct(regions []NamedRegion) ([]PairPercent, error) {
-	out, _, err := ComputeAllPairsPctOpt(regions, BatchOptions{Workers: 1})
-	return out, err
+// BatchPctResult is the output of one quantitative all-pairs batch: the
+// sorted (primary, reference) percent matrices plus the aggregated
+// instrumentation (fast-path hits, edge counts) of the run.
+type BatchPctResult struct {
+	Pairs []PairPercent
+	Stats Stats
 }
 
-// ComputeAllPairsPctParallel is ComputeAllPairsPct over a GOMAXPROCS-sized
-// worker pool. The output is deterministic and identical to the sequential
-// path.
-func ComputeAllPairsPctParallel(regions []NamedRegion) ([]PairPercent, error) {
-	out, _, err := ComputeAllPairsPctOpt(regions, BatchOptions{})
-	return out, err
-}
-
-// ComputeAllPairsPctOpt is the configurable quantitative batch engine: it
-// prepares every region once, then computes all ordered pairs' percent
-// matrices with the requested worker count and pruning mode, returning
-// aggregated instrumentation alongside the sorted results.
-func ComputeAllPairsPctOpt(regions []NamedRegion, opt BatchOptions) ([]PairPercent, Stats, error) {
-	if len(regions) < 2 {
-		return nil, Stats{}, nil
+// BatchPct computes the cardinal direction relation with percentages for
+// every ordered pair of distinct regions — the quantitative counterpart of
+// BatchCDR and the single quantitative batch entry point. Regions are
+// prepared once each unless opt.Prepared supplies them; pairs whose
+// polygons all land strictly inside single tiles are answered from areas
+// cached at Prepare time without splitting an edge. The context is checked
+// once per claimed primary row and its error returned verbatim. Results
+// come back sorted by (primary, reference). A nil opt means defaults.
+func BatchPct(ctx context.Context, regions []NamedRegion, opt *BatchOptions) (*BatchPctResult, error) {
+	var o BatchOptions
+	if opt != nil {
+		o = *opt
 	}
-	ps, err := PrepareAll(regions)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ps := o.Prepared
+	if ps == nil {
+		if len(regions) < 2 {
+			return &BatchPctResult{}, nil
+		}
+		var err error
+		ps, err = PrepareAll(regions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pairs, st, err := batchPctPrepared(ctx, ps, o)
 	if err != nil {
-		return nil, Stats{}, err
+		return nil, err
 	}
-	return ComputeAllPairsPctPrepared(ps, opt)
+	return &BatchPctResult{Pairs: pairs, Stats: st}, nil
 }
 
-// ComputeAllPairsPctPrepared runs the quantitative batch over
-// already-prepared regions. Every region must be usable as a reference
-// (non-degenerate bounding box) and as a quantitative primary (positive
-// area); a region failing either yields a wrapped error up front.
-func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent, Stats, error) {
+// batchPctPrepared is the quantitative batch engine proper, over prepared
+// regions. Every region must be usable as a reference (non-degenerate
+// bounding box) and as a quantitative primary (positive area); a region
+// failing either yields a wrapped error up front.
+func batchPctPrepared(ctx context.Context, ps []*Prepared, opt BatchOptions) ([]PairPercent, Stats, error) {
 	n := len(ps)
 	if n < 2 {
 		return nil, Stats{}, nil
@@ -99,6 +107,11 @@ func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent
 			if pi >= n {
 				break
 			}
+			// Per-row context check, matching the qualitative engine's
+			// cancellation granularity.
+			if ctx.Err() != nil {
+				break
+			}
 			a := order[pi]
 			row := out[pi*(n-1) : (pi+1)*(n-1)]
 			k := 0
@@ -127,10 +140,56 @@ func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent
 		total.Merge(st)
 		mu.Unlock()
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, total, err
 		}
 	}
 	return out, total, nil
+}
+
+// ComputeAllPairsPct computes every ordered pair's percent matrix
+// sequentially.
+//
+// Deprecated: use BatchPct with BatchOptions{Workers: 1}.
+func ComputeAllPairsPct(regions []NamedRegion) ([]PairPercent, error) {
+	out, _, err := ComputeAllPairsPctOpt(regions, BatchOptions{Workers: 1})
+	return out, err
+}
+
+// ComputeAllPairsPctParallel is ComputeAllPairsPct over a GOMAXPROCS-sized
+// worker pool.
+//
+// Deprecated: use BatchPct.
+func ComputeAllPairsPctParallel(regions []NamedRegion) ([]PairPercent, error) {
+	out, _, err := ComputeAllPairsPctOpt(regions, BatchOptions{})
+	return out, err
+}
+
+// ComputeAllPairsPctOpt is the configurable quantitative batch engine with
+// instrumentation.
+//
+// Deprecated: use BatchPct, which also reports Stats.
+func ComputeAllPairsPctOpt(regions []NamedRegion, opt BatchOptions) ([]PairPercent, Stats, error) {
+	res, err := BatchPct(context.Background(), regions, &opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Pairs, res.Stats, nil
+}
+
+// ComputeAllPairsPctPrepared runs the quantitative batch over
+// already-prepared regions.
+//
+// Deprecated: use BatchPct with BatchOptions.Prepared.
+func ComputeAllPairsPctPrepared(ps []*Prepared, opt BatchOptions) ([]PairPercent, Stats, error) {
+	opt.Prepared = ps
+	res, err := BatchPct(context.Background(), nil, &opt)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Pairs, res.Stats, nil
 }

@@ -43,11 +43,19 @@ type pctCell struct {
 // column (2(n−1) pairs, counted in Stats.DeltaPairs) through the same
 // MBB-pruned worker pool, instead of the O(n²) full sweep.
 //
-// A store is a single-writer structure: concurrent readers are safe only in
-// the absence of a concurrent edit. All query results are deterministic and
+// A store is safe for concurrent use: an RWMutex lets any number of readers
+// (Relation, Percent, Pairs, Names, ...) overlap, while the edit methods
+// (Add, Remove, SetGeometry, Rename) take the write side, so readers never
+// observe a half-applied delta. All query results are deterministic and
 // identical to a from-scratch batch recompute over the current regions.
 type RelationStore struct {
 	opt StoreOptions
+
+	// mu guards every field below: read methods take the read side, edits
+	// (and their delta recomputations) the write side. The delta worker
+	// pool runs entirely under the write lock, so its internal data races
+	// are impossible by construction.
+	mu sync.RWMutex
 
 	ps   []*Prepared    // slot order: insertion order, compacted on Remove
 	idx  map[string]int // region name → slot
@@ -223,6 +231,8 @@ func (s *RelationStore) recompute(i int) error {
 // region — one Prepare plus 2(n−1) pair computations, not a full sweep. The
 // name must be unique and non-empty.
 func (s *RelationStore) Add(name string, r geom.Region) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if name == "" {
 		return fmt.Errorf("core: empty region name")
 	}
@@ -256,6 +266,8 @@ func (s *RelationStore) Add(name string, r geom.Region) error {
 // matrix in O(n) with no recomputation: the surviving pairs are unaffected
 // by the deletion.
 func (s *RelationStore) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	i, ok := s.idx[name]
 	if !ok {
 		return fmt.Errorf("core: region %q: %w", name, ErrUnknownRegion)
@@ -300,6 +312,8 @@ func (s *RelationStore) Remove(name string) error {
 // operations map to. On error (degenerate replacement) the store is
 // unchanged.
 func (s *RelationStore) SetGeometry(name string, r geom.Region) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	i, ok := s.idx[name]
 	if !ok {
 		return fmt.Errorf("core: region %q: %w", name, ErrUnknownRegion)
@@ -319,6 +333,8 @@ func (s *RelationStore) SetGeometry(name string, r geom.Region) error {
 // relation survives, and Stats.DeltaPairs does not move. The new name must
 // be unique and non-empty.
 func (s *RelationStore) Rename(oldName, newName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if newName == "" {
 		return fmt.Errorf("core: empty region name")
 	}
@@ -343,16 +359,24 @@ func (s *RelationStore) Rename(oldName, newName string) error {
 }
 
 // Len returns the number of held regions.
-func (s *RelationStore) Len() int { return len(s.ps) }
+func (s *RelationStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ps)
+}
 
 // Has reports whether the store holds a region with the given name.
 func (s *RelationStore) Has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, ok := s.idx[name]
 	return ok
 }
 
 // Names returns the held region names, sorted.
 func (s *RelationStore) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.ps))
 	for _, p := range s.ps {
 		out = append(out, p.Name)
@@ -364,6 +388,8 @@ func (s *RelationStore) Names() []string {
 // Prepared returns the held Prepared form of a region, or false. The value
 // is shared and must not be mutated.
 func (s *RelationStore) Prepared(name string) (*Prepared, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	i, ok := s.idx[name]
 	if !ok {
 		return nil, false
@@ -390,6 +416,8 @@ func (s *RelationStore) pair(primary, reference string) (int, int, error) {
 // Relation returns the cached cardinal direction relation of primary against
 // reference — an O(1) lookup, never a recomputation.
 func (s *RelationStore) Relation(primary, reference string) (Relation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	i, j, err := s.pair(primary, reference)
 	if err != nil {
 		return 0, err
@@ -400,6 +428,8 @@ func (s *RelationStore) Relation(primary, reference string) (Relation, error) {
 // Percent returns the cached percent matrix of primary against reference.
 // The store must have been built with StoreOptions.Pct.
 func (s *RelationStore) Percent(primary, reference string) (PercentMatrix, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.pcts == nil {
 		return PercentMatrix{}, fmt.Errorf("core: store does not maintain percentages (StoreOptions.Pct)")
 	}
@@ -413,6 +443,8 @@ func (s *RelationStore) Percent(primary, reference string) (PercentMatrix, error
 // Areas returns the cached per-tile areas of primary against reference. The
 // store must have been built with StoreOptions.Pct.
 func (s *RelationStore) Areas(primary, reference string) (TileAreas, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.pcts == nil {
 		return TileAreas{}, fmt.Errorf("core: store does not maintain percentages (StoreOptions.Pct)")
 	}
@@ -438,6 +470,8 @@ func (s *RelationStore) sorted() []int {
 // reference) — byte-for-byte the slice ComputeAllPairsParallel would produce
 // over the current regions.
 func (s *RelationStore) Pairs() []PairRelation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ord := s.sorted()
 	n := len(ord)
 	if n < 2 {
@@ -463,6 +497,8 @@ func (s *RelationStore) Pairs() []PairRelation {
 // reference), matching ComputeAllPairsPctParallel over the current regions.
 // The store must have been built with StoreOptions.Pct.
 func (s *RelationStore) PctPairs() ([]PairPercent, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.pcts == nil {
 		return nil, fmt.Errorf("core: store does not maintain percentages (StoreOptions.Pct)")
 	}
@@ -493,4 +529,8 @@ func (s *RelationStore) PctPairs() ([]PairPercent, error) {
 // every delta since: DeltaPairs counts the pair computations performed by
 // Add/SetGeometry edits (2(n−1) each), the prune counters aggregate across
 // all recomputations.
-func (s *RelationStore) Stats() Stats { return s.stats }
+func (s *RelationStore) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -57,6 +58,22 @@ func DirectionalSelectStats(
 	reference geom.Region,
 	allowed core.RelationSet,
 ) ([]string, SelectStats, error) {
+	return DirectionalSelectStatsCtx(context.Background(), tree, regions, reference, allowed)
+}
+
+// DirectionalSelectStatsCtx is DirectionalSelectStats honoring a context:
+// cancellation is observed once per candidate refinement (the expensive
+// stage) and the context's error is returned verbatim for errors.Is.
+func DirectionalSelectStatsCtx(
+	ctx context.Context,
+	tree *RTree,
+	regions map[string]geom.Region,
+	reference geom.Region,
+	allowed core.RelationSet,
+) ([]string, SelectStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st SelectStats
 	st.Total = tree.Len()
 	if allowed.IsEmpty() {
@@ -79,6 +96,9 @@ func DirectionalSelectStats(
 	var out []string
 	sc := &core.Scratch{}
 	for _, it := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		// Stage 2: MBB-level pruning.
 		mbbRel := mbbRelation(grid, it.Box)
 		possible := false

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 
 	"cardirect/internal/core"
@@ -157,4 +158,10 @@ func (l *Live) Select(reference geom.Region, allowed core.RelationSet) ([]string
 // SelectStats is Select with instrumentation.
 func (l *Live) SelectStats(reference geom.Region, allowed core.RelationSet) ([]string, SelectStats, error) {
 	return DirectionalSelectStats(l.tree, l.geoms, reference, allowed)
+}
+
+// SelectStatsCtx is SelectStats honoring a context: cancellation aborts the
+// selection at the next candidate refinement.
+func (l *Live) SelectStatsCtx(ctx context.Context, reference geom.Region, allowed core.RelationSet) ([]string, SelectStats, error) {
+	return DirectionalSelectStatsCtx(ctx, l.tree, l.geoms, reference, allowed)
 }

@@ -1,0 +1,48 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cardirect/internal/config"
+)
+
+// TestEvalCtxCancelled: a cancelled context aborts the join before binding
+// enumeration and surfaces context.Canceled; the ctx-free Eval stays live.
+func TestEvalCtxCancelled(t *testing.T) {
+	ev, err := NewEvaluator(config.Greece())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "q(x, y) :- x N:NE y"
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ev.EvalStringCtx(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalStringCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// Sanity: the same query evaluates fine without cancellation, and
+	// EvalCtx with a live context matches Eval.
+	want, err := ev.EvalString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.EvalCtx(context.Background(), parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("EvalCtx = %d bindings, Eval = %d", len(got), len(want))
+	}
+	for i := range got {
+		for v, id := range got[i] {
+			if want[i][v] != id {
+				t.Fatalf("binding %d: %s = %s, want %s", i, v, id, want[i][v])
+			}
+		}
+	}
+}

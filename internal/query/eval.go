@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -163,11 +164,30 @@ func (e *Evaluator) EvalString(input string) ([]Binding, error) {
 	return e.Eval(q)
 }
 
+// EvalStringCtx is EvalString honoring a context (see EvalCtx).
+func (e *Evaluator) EvalStringCtx(ctx context.Context, input string) ([]Binding, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return e.EvalCtx(ctx, q)
+}
+
 // Eval evaluates the query, returning every satisfying assignment of region
 // ids to head variables in lexicographic order. Distinct variables may bind
 // to the same region unless a condition forbids it, matching the relational
 // semantics of the paper's query model.
 func (e *Evaluator) Eval(q *Query) ([]Binding, error) {
+	return e.EvalCtx(context.Background(), q)
+}
+
+// EvalCtx is Eval honoring a context: the join loop checks for cancellation
+// at every candidate binding, so a server timeout aborts an expensive
+// multi-variable join mid-search with the context's error.
+func (e *Evaluator) EvalCtx(ctx context.Context, q *Query) ([]Binding, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Pre-index conditions per variable for cheap unit propagation:
 	// bindings and attribute filters restrict candidate sets up-front.
 	candidates := make(map[string][]string, len(q.Vars))
@@ -256,6 +276,9 @@ func (e *Evaluator) Eval(q *Query) ([]Binding, error) {
 	assign := make(map[string]string, len(q.Vars))
 	var rec func(i int) error
 	rec = func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if i == len(q.Vars) {
 			b := make(Binding, len(assign))
 			for k, v := range assign {

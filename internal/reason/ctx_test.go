@@ -1,0 +1,34 @@
+package reason
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cardirect/internal/core"
+)
+
+// TestSolveCtxCancelled: a cancelled context aborts the backtracking search
+// and surfaces context.Canceled instead of a witness or a search-limit
+// error.
+func TestSolveCtxCancelled(t *testing.T) {
+	n := NewNetwork()
+	// A satisfiable chain — without the cancellation it solves instantly.
+	names := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i+1 < len(names); i++ {
+		if err := n.ConstrainRel(names[i], names[i+1], core.N); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.SolveCtx(ctx, SolveOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// The network is untouched: a live context still finds the witness.
+	w, err := n.SolveCtx(context.Background(), SolveOptions{})
+	if err != nil {
+		t.Fatalf("SolveCtx after cancellation: %v", err)
+	}
+	verifyWitness(t, n, w)
+}

@@ -1,6 +1,7 @@
 package reason
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -151,6 +152,18 @@ var ErrSearchLimit = fmt.Errorf("reason: scenario search limit reached")
 // coordinates, and checks blob-placement feasibility for every primary
 // variable on the refined grid of its references.
 func (n *Network) Solve(opts SolveOptions) (*Witness, error) {
+	return n.SolveCtx(context.Background(), opts)
+}
+
+// SolveCtx is Solve honoring a context: the backtracking search checks for
+// cancellation at every edge assignment and axis-scenario enumeration step,
+// returning the context's error (matched with errors.Is) when the deadline
+// passes or the caller cancels — the hook that lets a server bound the
+// worst-case exponential search by wall clock as well as by scenario count.
+func (n *Network) SolveCtx(ctx context.Context, opts SolveOptions) (*Witness, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.MaxScenarios <= 0 {
 		opts.MaxScenarios = 100000
 	}
@@ -184,6 +197,7 @@ func (n *Network) Solve(opts SolveOptions) (*Witness, error) {
 
 	s := &solver{
 		n:      n,
+		ctx:    ctx,
 		edges:  edges,
 		chosen: make(map[[2]int]edgeChoice, len(edges)),
 		budget: opts.MaxScenarios,
@@ -203,6 +217,7 @@ type edgeChoice struct {
 
 type solver struct {
 	n      *Network
+	ctx    context.Context
 	edges  [][2]int
 	chosen map[[2]int]edgeChoice
 	budget int
@@ -211,6 +226,9 @@ type solver struct {
 // assignEdges backtracks over the constrained edges; mx and my are the
 // current axis networks (nil entries mean unconstrained).
 func (s *solver) assignEdges(i int, mx, my *axisNet) (*Witness, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.budget <= 0 {
 		return nil, ErrSearchLimit
 	}
@@ -253,7 +271,15 @@ func (s *solver) solveScenarios(mx, my *axisNet) (*Witness, error) {
 	var werr error
 	var witness *Witness
 	err := mx.scenarios(&s.budget, func(sx *axisNet) bool {
+		if e := s.ctx.Err(); e != nil {
+			werr = e
+			return true
+		}
 		e := my.scenarios(&s.budget, func(sy *axisNet) bool {
+			if ce := s.ctx.Err(); ce != nil {
+				werr = ce
+				return true
+			}
 			xs := sx.realize()
 			ys := sy.realize()
 			if w := s.checkOccupancy(xs, ys); w != nil {

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+)
+
+// statusClientClosed is nginx's non-standard 499 "client closed request":
+// the request context was cancelled (the client went away), so no status
+// will reach anyone — the code exists for the access log and metrics.
+const statusClientClosed = 499
+
+// httpError pins an explicit status onto an error; handlers use it where
+// the sentinel mapping is not specific enough.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// failf builds an httpError in one line.
+func failf(status int, format string, args ...any) error {
+	return &httpError{status: status, err: fmt.Errorf(format, args...)}
+}
+
+// statusOf maps an error to its HTTP status through the shared sentinels.
+// config.ErrUnknownRegion wraps core.ErrUnknownRegion, so the single core
+// test covers both layers; everything unmapped is a client error (400) —
+// the handlers produce no internal errors that are not explicitly pinned.
+func statusOf(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, core.ErrUnknownRegion):
+		return http.StatusNotFound
+	case errors.Is(err, config.ErrDuplicateRegion):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrDegenerateRegion):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosed
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError emits the mapped status and JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// writeJSON emits a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	return enc.Encode(v)
+}

@@ -1,0 +1,512 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/index"
+	"cardirect/internal/query"
+)
+
+// boxJSON is an axis-aligned bounding box on the wire.
+type boxJSON struct {
+	MinX float64 `json:"minx"`
+	MinY float64 `json:"miny"`
+	MaxX float64 `json:"maxx"`
+	MaxY float64 `json:"maxy"`
+}
+
+func toBoxJSON(r geom.Rect) boxJSON {
+	return boxJSON{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// regionInfo is the region summary returned by the listing and the edit
+// endpoints.
+type regionInfo struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	Color    string  `json:"color,omitempty"`
+	Polygons int     `json:"polygons"`
+	Edges    int     `json:"edges"`
+	Box      boxJSON `json:"box"`
+}
+
+func toRegionInfo(r *config.Region) regionInfo {
+	g := r.Geometry()
+	return regionInfo{
+		ID:       r.ID,
+		Name:     r.Name,
+		Color:    r.Color,
+		Polygons: len(r.Polygons),
+		Edges:    g.NumEdges(),
+		Box:      toBoxJSON(g.BoundingBox()),
+	}
+}
+
+// geometryPayload carries a region geometry in either interchange format;
+// exactly one of the fields must be set.
+type geometryPayload struct {
+	WKT     string          `json:"wkt,omitempty"`
+	GeoJSON json.RawMessage `json:"geojson,omitempty"`
+}
+
+// geometry decodes the payload into a REG* region.
+func (p *geometryPayload) geometry() (geom.Region, error) {
+	switch {
+	case p.WKT != "" && p.GeoJSON != nil:
+		return nil, failf(http.StatusBadRequest, "serve: provide wkt or geojson, not both")
+	case p.WKT != "":
+		g, err := geom.ParseWKT(p.WKT)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	case p.GeoJSON != nil:
+		g, err := geom.ParseGeoJSON(p.GeoJSON)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	default:
+		return nil, failf(http.StatusBadRequest, "serve: missing geometry (wkt or geojson)")
+	}
+}
+
+// decodeBody decodes a JSON request body into v, translating the
+// MaxBytesReader overflow into 413.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return failf(http.StatusRequestEntityTooLarge, "serve: request body over %d bytes", tooLarge.Limit)
+		}
+		return failf(http.StatusBadRequest, "serve: decoding request body: %v", err)
+	}
+	// A trailing second JSON value is a malformed request, not data.
+	if dec.More() {
+		return failf(http.StatusBadRequest, "serve: trailing data after JSON body")
+	}
+	return nil
+}
+
+// pctJSON renders a percent matrix as a tile→percentage map, omitting
+// zero tiles; JSON object keys marshal sorted, so bodies are deterministic.
+func pctJSON(m core.PercentMatrix) map[string]float64 {
+	out := make(map[string]float64, core.NumTiles)
+	for _, t := range core.Tiles() {
+		if v := m.Get(t); v != 0 {
+			out[t.String()] = v
+		}
+	}
+	return out
+}
+
+// --- endpoint handlers ---
+
+type healthResponse struct {
+	Status  string `json:"status"`
+	Regions int    `json:"regions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	if err := s.tr.Err(); err != nil {
+		return failf(http.StatusInternalServerError, "serve: tracking diverged: %v", err)
+	}
+	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Regions: s.tr.Store().Len()})
+}
+
+type regionsResponse struct {
+	Regions []regionInfo `json:"regions"`
+}
+
+func (s *Server) handleRegionsList(w http.ResponseWriter, r *http.Request) error {
+	var out regionsResponse
+	err := s.tr.View(func(img *config.Image) error {
+		out.Regions = make([]regionInfo, 0, len(img.Regions))
+		for i := range img.Regions {
+			out.Regions = append(out.Regions, toRegionInfo(&img.Regions[i]))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(out.Regions, func(i, j int) bool { return out.Regions[i].ID < out.Regions[j].ID })
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type regionDetail struct {
+	regionInfo
+	WKT     string          `json:"wkt"`
+	GeoJSON json.RawMessage `json:"geojson"`
+}
+
+func (s *Server) handleRegionGet(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	var out regionDetail
+	err := s.tr.View(func(img *config.Image) error {
+		reg := img.FindRegion(id)
+		if reg == nil {
+			return fmt.Errorf("serve: region %q: %w", id, config.ErrUnknownRegion)
+		}
+		g := reg.Geometry()
+		gj, err := geom.FormatGeoJSON(g)
+		if err != nil {
+			return failf(http.StatusInternalServerError, "serve: encoding %q: %v", id, err)
+		}
+		out = regionDetail{regionInfo: toRegionInfo(reg), WKT: geom.FormatWKT(g), GeoJSON: gj}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type regionUpsert struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	Color string `json:"color,omitempty"`
+	geometryPayload
+}
+
+func (s *Server) handleRegionAdd(w http.ResponseWriter, r *http.Request) error {
+	var req regionUpsert
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	if req.ID == "" {
+		return failf(http.StatusBadRequest, "serve: missing region id")
+	}
+	g, err := req.geometry()
+	if err != nil {
+		return err
+	}
+	if err := s.tr.AddRegion(req.ID, req.Name, req.Color, g); err != nil {
+		return err
+	}
+	return s.respondRegion(w, http.StatusCreated, req.ID)
+}
+
+func (s *Server) handleRegionSet(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	var req geometryPayload
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	g, err := req.geometry()
+	if err != nil {
+		return err
+	}
+	if err := s.tr.SetRegionGeometry(id, g); err != nil {
+		return err
+	}
+	return s.respondRegion(w, http.StatusOK, id)
+}
+
+type renameRequest struct {
+	NewID string `json:"new_id"`
+}
+
+func (s *Server) handleRegionRename(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	var req renameRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	if req.NewID == "" {
+		return failf(http.StatusBadRequest, "serve: missing new_id")
+	}
+	if err := s.tr.RenameRegion(id, req.NewID); err != nil {
+		return err
+	}
+	return s.respondRegion(w, http.StatusOK, req.NewID)
+}
+
+func (s *Server) handleRegionDelete(w http.ResponseWriter, r *http.Request) error {
+	if err := s.tr.RemoveRegion(r.PathValue("id")); err != nil {
+		return err
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// respondRegion returns the post-edit summary of one region.
+func (s *Server) respondRegion(w http.ResponseWriter, status int, id string) error {
+	var info regionInfo
+	err := s.tr.View(func(img *config.Image) error {
+		reg := img.FindRegion(id)
+		if reg == nil {
+			return fmt.Errorf("serve: region %q: %w", id, config.ErrUnknownRegion)
+		}
+		info = toRegionInfo(reg)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, status, info)
+}
+
+type relationResponse struct {
+	Primary   string             `json:"primary"`
+	Reference string             `json:"reference"`
+	Relation  string             `json:"relation"`
+	Pct       map[string]float64 `json:"pct,omitempty"`
+}
+
+func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
+	p := r.URL.Query().Get("primary")
+	q := r.URL.Query().Get("reference")
+	if p == "" || q == "" {
+		return failf(http.StatusBadRequest, "serve: missing primary or reference parameter")
+	}
+	store := s.tr.Store()
+	rel, err := store.Relation(p, q)
+	if err != nil {
+		return err
+	}
+	out := relationResponse{Primary: p, Reference: q, Relation: rel.String()}
+	if r.URL.Query().Get("pct") != "" {
+		m, err := store.Percent(p, q)
+		if err != nil {
+			return err
+		}
+		out.Pct = pctJSON(m)
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type pairJSON struct {
+	Primary   string             `json:"primary"`
+	Reference string             `json:"reference"`
+	Relation  string             `json:"relation,omitempty"`
+	Pct       map[string]float64 `json:"pct,omitempty"`
+}
+
+type relationsResponse struct {
+	Pairs []pairJSON `json:"pairs"`
+}
+
+func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) error {
+	store := s.tr.Store()
+	var out relationsResponse
+	if r.URL.Query().Get("pct") != "" {
+		pairs, err := store.PctPairs()
+		if err != nil {
+			return err
+		}
+		out.Pairs = make([]pairJSON, 0, len(pairs))
+		for _, p := range pairs {
+			out.Pairs = append(out.Pairs, pairJSON{Primary: p.Primary, Reference: p.Reference, Pct: pctJSON(p.Matrix)})
+		}
+	} else {
+		pairs := store.Pairs()
+		out.Pairs = make([]pairJSON, 0, len(pairs))
+		for _, p := range pairs {
+			out.Pairs = append(out.Pairs, pairJSON{Primary: p.Primary, Reference: p.Reference, Relation: p.Relation.String()})
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type batchRequest struct {
+	Pct     bool `json:"pct,omitempty"`
+	NoPrune bool `json:"noprune,omitempty"`
+	Workers int  `json:"workers,omitempty"`
+}
+
+type batchResponse struct {
+	Pairs []pairJSON `json:"pairs"`
+	Stats core.Stats `json:"stats"`
+}
+
+// handleBatch recomputes every pair from scratch through the consolidated
+// batch entry points — the "annotate this configuration" bulk operation,
+// run under the request context so server timeouts and client disconnects
+// abort it within one primary row of work.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	var req batchRequest
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return failf(http.StatusRequestEntityTooLarge, "serve: request body over %d bytes", tooLarge.Limit)
+		}
+		return failf(http.StatusBadRequest, "serve: reading request body: %v", err)
+	}
+	// An empty body means default options.
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return failf(http.StatusBadRequest, "serve: decoding request body: %v", err)
+		}
+	}
+	var regions []core.NamedRegion
+	err = s.tr.View(func(img *config.Image) error {
+		regions = make([]core.NamedRegion, len(img.Regions))
+		for i := range img.Regions {
+			regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: img.Regions[i].Geometry()}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.opt.Workers
+	}
+	opt := &core.BatchOptions{Workers: workers, NoPrune: req.NoPrune}
+	var out batchResponse
+	if req.Pct {
+		res, err := core.BatchPct(r.Context(), regions, opt)
+		if err != nil {
+			return err
+		}
+		out.Stats = res.Stats
+		out.Pairs = make([]pairJSON, 0, len(res.Pairs))
+		for _, p := range res.Pairs {
+			out.Pairs = append(out.Pairs, pairJSON{Primary: p.Primary, Reference: p.Reference, Pct: pctJSON(p.Matrix)})
+		}
+	} else {
+		res, err := core.BatchCDR(r.Context(), regions, opt)
+		if err != nil {
+			return err
+		}
+		out.Stats = res.Stats
+		out.Pairs = make([]pairJSON, 0, len(res.Pairs))
+		for _, p := range res.Pairs {
+			out.Pairs = append(out.Pairs, pairJSON{Primary: p.Primary, Reference: p.Reference, Relation: p.Relation.String()})
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type selectResponse struct {
+	Reference string            `json:"reference"`
+	Relation  string            `json:"relation"`
+	Matches   []string          `json:"matches"`
+	Stats     index.SelectStats `json:"stats"`
+}
+
+// handleSelect answers a directional selection ("everything north of b")
+// through the live R-tree: window queries per constraint tile, MBB
+// refinement, exact Compute-CDR refinement — under the read lock, so edits
+// never move index entries mid-plan.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) error {
+	refID := r.URL.Query().Get("reference")
+	relStr := r.URL.Query().Get("relation")
+	if refID == "" || relStr == "" {
+		return failf(http.StatusBadRequest, "serve: missing reference or relation parameter")
+	}
+	allowed, err := core.ParseRelationSet(relStr)
+	if err != nil {
+		return err
+	}
+	out := selectResponse{Reference: refID, Relation: allowed.String(), Matches: []string{}}
+	err = s.tr.View(func(img *config.Image) error {
+		reg := img.FindRegion(refID)
+		if reg == nil {
+			return fmt.Errorf("serve: region %q: %w", refID, config.ErrUnknownRegion)
+		}
+		matches, st, err := s.tr.Index().SelectStatsCtx(r.Context(), reg.Geometry(), allowed)
+		if err != nil {
+			return err
+		}
+		if matches != nil {
+			out.Matches = matches
+		}
+		out.Stats = st
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The reference matches itself only under B; drop it like the query
+	// evaluator's l == r rule unless B is allowed.
+	if !allowed.Contains(core.B) {
+		for i, id := range out.Matches {
+			if id == refID {
+				out.Matches = append(out.Matches[:i], out.Matches[i+1:]...)
+				break
+			}
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type queryRequest struct {
+	Q string `json:"q"`
+}
+
+type queryResponse struct {
+	Vars     []string            `json:"vars"`
+	Bindings []map[string]string `json:"bindings"`
+}
+
+// handleQuery evaluates a conjunctive query of the paper's language over
+// the tracked configuration. The evaluator reads relations from the
+// delta-maintained store (never recomputing geometry for cached pairs) and
+// the join loop honors the request context.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return err
+	}
+	if req.Q == "" {
+		return failf(http.StatusBadRequest, "serve: missing query (q)")
+	}
+	q, err := query.Parse(req.Q)
+	if err != nil {
+		return err
+	}
+	out := queryResponse{Vars: q.Vars, Bindings: []map[string]string{}}
+	err = s.tr.View(func(img *config.Image) error {
+		ev, err := query.NewEvaluator(img)
+		if err != nil {
+			return err
+		}
+		ev.UseStore(s.tr.Store())
+		bindings, err := ev.EvalCtx(r.Context(), q)
+		if err != nil {
+			return err
+		}
+		for _, b := range bindings {
+			out.Bindings = append(out.Bindings, map[string]string(b))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
+type statsResponse struct {
+	Regions int        `json:"regions"`
+	Indexed int        `json:"indexed"`
+	Store   core.Stats `json:"store"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	var out statsResponse
+	err := s.tr.View(func(img *config.Image) error {
+		out.Regions = len(img.Regions)
+		out.Indexed = s.tr.Index().Len()
+		out.Store = s.tr.Store().Stats()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,154 @@
+// Package serve implements the cardirectd HTTP/JSON API: the paper's
+// CARDIRECT tool (§4) as a network service over a tracked configuration.
+// One config.Tracked — document, delta-maintained core.RelationStore and
+// live R-tree — backs every endpoint, so pair-relation reads are O(1)
+// cache lookups, region edits recompute only the touched row and column,
+// and directional selections prune through R-tree window queries.
+//
+// Production posture: every handler runs under a per-endpoint expvar
+// instrument (request count, error count, latency sum, global inflight
+// gauge), request bodies are size-limited, an optional per-request timeout
+// turns into context cancellation that the batch engines, the query join
+// loop and the selection refinement all observe, and access is logged
+// structurally through log/slog. Errors map to HTTP status codes through
+// the shared sentinels (core.ErrUnknownRegion → 404, ErrDegenerateRegion →
+// 422, config.ErrDuplicateRegion → 409, context deadline → 504).
+package serve
+
+import (
+	"context"
+	"expvar"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"cardirect/internal/config"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBodyBytes caps request body size; values ≤ 0 mean 1 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout, when positive, bounds every request's context; work
+	// that honors the context (batch recompute, query joins, selections)
+	// aborts with 504 when it expires.
+	RequestTimeout time.Duration
+	// Workers is the worker-pool size handed to the batch engines by the
+	// recompute endpoint; values ≤ 0 mean GOMAXPROCS.
+	Workers int
+	// Logger receives structured access logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Server serves the cardirectd API over one tracked configuration.
+type Server struct {
+	tr  *config.Tracked
+	opt Options
+	log *slog.Logger
+	mux *http.ServeMux
+}
+
+// metrics is the process-wide expvar surface, published under "cardirectd":
+// per-endpoint "<route>.requests" / "<route>.errors" / "<route>.latency_ns"
+// counters, a global "inflight" gauge, and a "store" func reporting the
+// tracked store's cumulative Stats (DeltaPairs, prune hits, edge counts).
+var metrics = expvar.NewMap("cardirectd")
+
+// New builds a server over the tracked configuration. The store behind tr
+// should be built with StoreOptions.Pct when percent endpoints are wanted.
+func New(tr *config.Tracked, opt Options) *Server {
+	if opt.MaxBodyBytes <= 0 {
+		opt.MaxBodyBytes = 1 << 20
+	}
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	s := &Server{tr: tr, opt: opt, log: opt.Logger, mux: http.NewServeMux()}
+	s.routes()
+	// The expvar namespace is process-global; with several servers (tests)
+	// the last one wins, which matches the one-server production shape.
+	metrics.Set("store", expvar.Func(func() any {
+		return map[string]any{
+			"regions": tr.Store().Len(),
+			"stats":   tr.Store().Stats(),
+		}
+	}))
+	return s
+}
+
+// Handler returns the root handler: the API routes plus /debug/vars
+// (expvar) and /debug/pprof.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	s.handle("GET /api/regions", "regions.list", s.handleRegionsList)
+	s.handle("POST /api/regions", "regions.add", s.handleRegionAdd)
+	s.handle("GET /api/regions/{id}", "regions.get", s.handleRegionGet)
+	s.handle("PUT /api/regions/{id}", "regions.set", s.handleRegionSet)
+	s.handle("POST /api/regions/{id}/rename", "regions.rename", s.handleRegionRename)
+	s.handle("DELETE /api/regions/{id}", "regions.delete", s.handleRegionDelete)
+	s.handle("GET /api/relation", "relation", s.handleRelation)
+	s.handle("GET /api/relations", "relations", s.handleRelations)
+	s.handle("POST /api/batch", "batch", s.handleBatch)
+	s.handle("GET /api/select", "select", s.handleSelect)
+	s.handle("POST /api/query", "query", s.handleQuery)
+	s.handle("GET /api/stats", "stats", s.handleStats)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// handlerFunc is the internal handler shape: returning an error delegates
+// the status mapping and JSON error body to the instrument wrapper.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// statusWriter records the status code for metrics and access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle mounts h at pattern wrapped in the shared instrument: inflight
+// gauge, per-route counters and latency, body-size limit, request timeout,
+// error mapping and the structured access log.
+func (s *Server) handle(pattern, name string, h handlerFunc) {
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		metrics.Add("inflight", 1)
+		defer metrics.Add("inflight", -1)
+		metrics.Add(name+".requests", 1)
+		if s.opt.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if err := h(sw, r); err != nil {
+			metrics.Add(name+".errors", 1)
+			writeError(sw, err)
+		}
+		elapsed := time.Since(start)
+		metrics.Add(name+".latency_ns", elapsed.Nanoseconds())
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("route", name),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}))
+}
