@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race smoke bench bench-short experiments
+.PHONY: check vet build test race smoke fuzz-smoke bench bench-short experiments
 
 check: vet build race smoke
 
@@ -23,11 +23,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# End-to-end smoke of the cardirectd binary: build it, serve the Greece
-# fixture on an ephemeral port, hit /healthz and a relation query over
-# the wire, SIGTERM, assert a clean zero exit.
+# End-to-end smoke of the cardirectd binary: serve the Greece fixture on
+# an ephemeral port, hit the API over the wire, SIGTERM to a clean exit —
+# then the durable shape: SIGKILL a daemon mid-edit-stream and assert the
+# restart recovers a prefix of the acknowledged edits with relations
+# identical to a from-scratch computation.
 smoke:
-	$(GO) test -count=1 -run TestCardirectdSmoke ./cmd/cardirectd
+	$(GO) test -count=1 -run 'TestCardirectdSmoke|TestCardirectdCrashRecovery' ./cmd/cardirectd
+
+# Short fuzz runs of the crash-surface decoders: WAL replay and the
+# snapshot pct attribute. CI runs these; locally, crank -fuzztime.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
+	$(GO) test -run='^$$' -fuzz=FuzzParsePct -fuzztime=10s ./internal/config
 
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:

@@ -28,9 +28,11 @@ import (
 	"cardirect/internal/core"
 	"cardirect/internal/geom"
 	"cardirect/internal/index"
+	"cardirect/internal/persist"
 	"cardirect/internal/query"
 	"cardirect/internal/reason"
 	"cardirect/internal/topo"
+	"cardirect/internal/wal"
 	"cardirect/internal/workload"
 )
 
@@ -305,25 +307,6 @@ var (
 	// BatchPct is the quantitative counterpart of BatchCDR: every ordered
 	// pair's percent matrix under a context.
 	BatchPct = core.BatchPct
-	// ComputeAllPairs computes every ordered pair's relation sequentially.
-	//
-	// Deprecated: use BatchCDR.
-	ComputeAllPairs = core.ComputeAllPairs
-	// ComputeAllPairsParallel is ComputeAllPairs on a worker pool sized to
-	// GOMAXPROCS, with identical (deterministic) output.
-	//
-	// Deprecated: use BatchCDR.
-	ComputeAllPairsParallel = core.ComputeAllPairsParallel
-	// ComputeAllPairsOpt is the configurable batch engine; it also reports
-	// instrumentation (edge counts, MBB prune hits).
-	//
-	// Deprecated: use BatchCDR.
-	ComputeAllPairsOpt = core.ComputeAllPairsOpt
-	// ComputeAllPairsPrepared runs the batch engine over already-prepared
-	// regions.
-	//
-	// Deprecated: use BatchCDR with BatchOptions.Prepared.
-	ComputeAllPairsPrepared = core.ComputeAllPairsPrepared
 	// Prepare preprocesses one region for repeated Relate calls.
 	Prepare = core.Prepare
 	// PrepareAll preprocesses a named batch, validating names.
@@ -333,26 +316,6 @@ var (
 	// RelatePct computes the relation with percentages between two prepared
 	// regions; with a warmed Scratch the steady path is allocation-free.
 	RelatePct = core.RelatePct
-	// ComputeAllPairsPct computes every ordered pair's percent matrix
-	// sequentially through the prepared engine.
-	//
-	// Deprecated: use BatchPct.
-	ComputeAllPairsPct = core.ComputeAllPairsPct
-	// ComputeAllPairsPctParallel is ComputeAllPairsPct on a GOMAXPROCS
-	// worker pool, with identical (deterministic) output.
-	//
-	// Deprecated: use BatchPct.
-	ComputeAllPairsPctParallel = core.ComputeAllPairsPctParallel
-	// ComputeAllPairsPctOpt is the configurable quantitative batch engine;
-	// it also reports instrumentation (fast-path hits, edge counts).
-	//
-	// Deprecated: use BatchPct.
-	ComputeAllPairsPctOpt = core.ComputeAllPairsPctOpt
-	// ComputeAllPairsPctPrepared runs the quantitative batch over
-	// already-prepared regions.
-	//
-	// Deprecated: use BatchPct with BatchOptions.Prepared.
-	ComputeAllPairsPctPrepared = core.ComputeAllPairsPctPrepared
 	// FindRelated filters candidates by their relation to a reference,
 	// pruning through R-tree window queries derived from the allowed tiles.
 	FindRelated = index.FindRelated
@@ -381,8 +344,52 @@ var (
 	// Track binds a configuration to a maintained RelationStore and live
 	// index; subsequent Image edits update both incrementally.
 	Track = config.Track
+	// TrackSeeded is Track for documents whose materialised relations are
+	// trusted (snapshots the store itself wrote): the relation store is
+	// seeded from them instead of recomputing all pairs.
+	TrackSeeded = config.TrackSeeded
 	// NewLiveIndex builds a maintained R-tree over named regions.
 	NewLiveIndex = index.NewLive
+)
+
+// Durable persistence (write-ahead log + snapshots + crash recovery).
+type (
+	// PersistStore owns a data directory — snapshot XML plus write-ahead
+	// log — and the tracked configuration recovered from it; edits routed
+	// through it are logged before they are acknowledged.
+	PersistStore = persist.Store
+	// PersistOptions configures OpenPersist (fsync policy, workers, pct).
+	PersistOptions = persist.Options
+	// PersistStatus reports the durability counters of a PersistStore.
+	PersistStatus = persist.Status
+	// SnapshotInfo describes one snapshot rotation.
+	SnapshotInfo = persist.SnapshotInfo
+	// WALOptions selects the log's fsync discipline.
+	WALOptions = wal.Options
+	// SyncPolicy is the fsync policy of the write-ahead log.
+	SyncPolicy = wal.SyncPolicy
+)
+
+// Write-ahead log fsync policies.
+const (
+	// SyncAlways fsyncs after every record: an acknowledged edit is on
+	// stable storage.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs on a timer: bounded data loss, higher throughput.
+	SyncInterval = wal.SyncInterval
+	// SyncNever leaves flushing to the OS.
+	SyncNever = wal.SyncNever
+)
+
+var (
+	// OpenPersist recovers a durable store from a data directory (or
+	// initialises it from a seed configuration).
+	OpenPersist = persist.Open
+	// ParseSyncPolicy parses "always", "interval" or "never".
+	ParseSyncPolicy = wal.ParseSyncPolicy
+	// ErrEmptyWorld reports a snapshot attempt on a configuration with no
+	// regions; matched with errors.Is.
+	ErrEmptyWorld = persist.ErrEmptyWorld
 )
 
 // Geometry interchange and construction helpers.

@@ -10,11 +10,20 @@
 //
 //	cardirectd -greece                        serve the Fig. 11 fixture
 //	cardirectd -config hellas.xml             serve an XML document
+//	cardirectd -greece -data /var/lib/cardirect   durable: snapshot + WAL
+//	cardirectd -data /var/lib/cardirect           recover, no seed needed
 //	cardirectd -addr :8080 -request-timeout 30s -workers 8 ...
+//
+// With -data the service is durable: edits are write-ahead logged before
+// they are acknowledged (-fsync picks the discipline), the directory is
+// recovered on startup (newest snapshot + WAL tail; -config/-greece only
+// seed a directory that holds no snapshot yet), and /api/admin/snapshot
+// rotates the generation. See the Durability section of README.md.
 //
 // The process runs until SIGINT/SIGTERM, then shuts down gracefully:
 // in-flight requests get -shutdown-timeout to finish, new connections are
-// refused, and the exit code is zero only on a clean drain.
+// refused, a final snapshot is written when -snapshot-on-exit is set, and
+// the exit code is zero only on a clean drain.
 package main
 
 import (
@@ -32,7 +41,9 @@ import (
 
 	"cardirect/internal/config"
 	"cardirect/internal/core"
+	"cardirect/internal/persist"
 	"cardirect/internal/serve"
+	"cardirect/internal/wal"
 )
 
 func main() {
@@ -54,6 +65,10 @@ func run(args []string, stdout *os.File) error {
 		maxBody         = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 		jsonLogs        = fs.Bool("log-json", false, "emit JSON logs instead of text")
+		dataDir         = fs.String("data", "", "data directory for durable operation (snapshot + write-ahead log)")
+		fsyncPolicy     = fs.String("fsync", "always", "WAL fsync policy with -data: always, interval or never")
+		fsyncInterval   = fs.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval")
+		snapOnExit      = fs.Bool("snapshot-on-exit", true, "with -data, write a final snapshot during graceful shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,23 +82,61 @@ func run(args []string, stdout *os.File) error {
 	}
 	logger := slog.New(handler)
 
-	img, err := loadConfig(*configPath, *greece)
-	if err != nil {
-		return err
-	}
-	tr, err := config.Track(img, core.StoreOptions{Workers: *workers, Pct: *pct})
-	if err != nil {
-		return fmt.Errorf("building relation store: %w", err)
+	var (
+		tr *config.Tracked
+		ps *persist.Store
+	)
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		// With a data directory the durable state is the source of truth:
+		// -config/-greece only seed a directory holding no snapshot yet,
+		// and may be omitted entirely when one does.
+		seed, err := loadConfigOptional(*configPath, *greece)
+		if err != nil {
+			return err
+		}
+		ps, err = persist.Open(*dataDir, seed, persist.Options{
+			Sync:    wal.Options{Policy: policy, Interval: *fsyncInterval},
+			Workers: *workers,
+			Pct:     *pct,
+			Logger:  logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer ps.Close()
+		tr = ps.Tracked()
+		st := ps.Status()
+		logger.Info("data dir recovered",
+			"dir", st.Dir, "seq", st.Seq, "regions", st.Regions,
+			"seeded", st.SeededFromSnapshot, "replayed", st.ReplayedRecords,
+			"recovery_ms", st.RecoveryNs/1e6, "fsync", policy.String())
+		if st.Corruption != "" {
+			logger.Warn("recovered past a torn WAL tail", "at", st.Corruption)
+		}
+	} else {
+		img, err := loadConfig(*configPath, *greece)
+		if err != nil {
+			return err
+		}
+		tr, err = config.Track(img, core.StoreOptions{Workers: *workers, Pct: *pct})
+		if err != nil {
+			return fmt.Errorf("building relation store: %w", err)
+		}
+		logger.Info("configuration loaded",
+			"name", img.Name, "regions", tr.Store().Len(), "pct", *pct)
 	}
 	defer tr.Close()
-	logger.Info("configuration loaded",
-		"name", img.Name, "regions", tr.Store().Len(), "pct", *pct)
 
 	srv := serve.New(tr, serve.Options{
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *requestTimeout,
 		Workers:        *workers,
 		Logger:         logger,
+		Persist:        ps,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
@@ -126,8 +179,26 @@ func run(args []string, stdout *os.File) error {
 	if err := <-errCh; err != nil {
 		return err
 	}
+	// The listener is drained: no more edits can arrive, so the final
+	// snapshot captures everything that was acknowledged.
+	if ps != nil && *snapOnExit {
+		if info, err := ps.Snapshot(); err != nil {
+			logger.Warn("final snapshot failed; the WAL still holds every edit", "err", err)
+		} else {
+			logger.Info("final snapshot written", "seq", info.Seq, "bytes", info.Bytes)
+		}
+	}
 	logger.Info("bye")
 	return nil
+}
+
+// loadConfigOptional is loadConfig for durable startup: no flags means no
+// seed (nil), because the data directory itself may hold the state.
+func loadConfigOptional(path string, greece bool) (*config.Image, error) {
+	if path == "" && !greece {
+		return nil, nil
+	}
+	return loadConfig(path, greece)
 }
 
 // loadConfig resolves the served document from the flags.

@@ -2,33 +2,42 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
 )
 
-// TestCardirectdSmoke builds the real binary, serves the Greece fixture on
-// an ephemeral port, exercises the health and relation endpoints over the
-// wire, and checks that SIGTERM drains to a zero exit. This is the CI
-// smoke job (make smoke).
-func TestCardirectdSmoke(t *testing.T) {
-	if testing.Short() {
-		t.Skip("skipping binary smoke test in -short mode")
-	}
+// buildBinary compiles cardirectd once per test into a temp dir.
+func buildBinary(t *testing.T) string {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "cardirectd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	build.Stderr = os.Stderr
 	if err := build.Run(); err != nil {
 		t.Fatalf("building cardirectd: %v", err)
 	}
+	return bin
+}
 
-	cmd := exec.Command(bin, "-greece", "-addr", "127.0.0.1:0")
+// startDaemon launches the binary with args plus an ephemeral port and
+// returns the process and resolved base URL (read from the stdout listen
+// line).
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append(args, "-addr", "127.0.0.1:0")...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -37,9 +46,7 @@ func TestCardirectdSmoke(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer cmd.Process.Kill()
-
-	// The first stdout line announces the resolved address.
+	t.Cleanup(func() { cmd.Process.Kill() })
 	sc := bufio.NewScanner(stdout)
 	if !sc.Scan() {
 		t.Fatalf("no listen line on stdout: %v", sc.Err())
@@ -49,35 +56,48 @@ func TestCardirectdSmoke(t *testing.T) {
 	if !strings.HasPrefix(line, prefix) {
 		t.Fatalf("unexpected stdout line: %q", line)
 	}
-	base := "http://" + strings.TrimPrefix(line, prefix)
+	return cmd, "http://" + strings.TrimPrefix(line, prefix)
+}
 
-	getJSON := func(path string, out any) {
-		t.Helper()
-		var lastErr error
-		for i := 0; i < 50; i++ {
-			resp, err := http.Get(base + path)
-			if err != nil {
-				lastErr = err
-				time.Sleep(20 * time.Millisecond)
-				continue
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
-			}
-			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-				t.Fatalf("GET %s: decoding: %v", path, err)
-			}
-			return
+// getJSON fetches path until the server answers, failing on non-200.
+func getJSON(t *testing.T, base, path string, out any) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			lastErr = err
+			time.Sleep(20 * time.Millisecond)
+			continue
 		}
-		t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+		return
 	}
+	t.Fatalf("GET %s never succeeded: %v", path, lastErr)
+}
+
+// TestCardirectdSmoke builds the real binary, serves the Greece fixture on
+// an ephemeral port, exercises the health and relation endpoints over the
+// wire, and checks that SIGTERM drains to a zero exit. This is the CI
+// smoke job (make smoke).
+func TestCardirectdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary smoke test in -short mode")
+	}
+	bin := buildBinary(t)
+	cmd, base := startDaemon(t, bin, "-greece")
 
 	var health struct {
 		Status  string `json:"status"`
 		Regions int    `json:"regions"`
 	}
-	getJSON("/healthz", &health)
+	getJSON(t, base, "/healthz", &health)
 	if health.Status != "ok" || health.Regions != 11 {
 		t.Fatalf("healthz = %+v", health)
 	}
@@ -85,7 +105,7 @@ func TestCardirectdSmoke(t *testing.T) {
 	var rel struct {
 		Relation string `json:"relation"`
 	}
-	getJSON("/api/relation?primary=attica&reference=peloponnesos", &rel)
+	getJSON(t, base, "/api/relation?primary=attica&reference=peloponnesos", &rel)
 	if rel.Relation == "" {
 		t.Fatal("empty relation")
 	}
@@ -106,6 +126,176 @@ func TestCardirectdSmoke(t *testing.T) {
 	}
 }
 
+// TestCardirectdCrashRecovery is the crash-consistency harness: a durable
+// daemon takes a stream of region adds over HTTP and is SIGKILLed
+// mid-stream; the restarted daemon must recover the seed plus a contiguous
+// prefix of the issued adds covering every acknowledged one (-fsync always:
+// acked ⇒ durable), and its served relations must equal a from-scratch
+// batch computation over the recovered geometries.
+func TestCardirectdCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary crash test in -short mode")
+	}
+	bin := buildBinary(t)
+	dataDir := t.TempDir()
+	cmd, base := startDaemon(t, bin, "-greece", "-data", dataDir, "-fsync", "always")
+
+	// Wait for readiness, then stream adds while a timer pulls the plug.
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, base, "/healthz", &health)
+
+	var acked atomic.Int64
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(300 * time.Millisecond)
+		cmd.Process.Signal(syscall.SIGKILL)
+		cmd.Wait()
+	}()
+
+	const maxAdds = 400
+	issued := make([]string, 0, maxAdds)
+	for i := 0; i < maxAdds; i++ {
+		id := fmt.Sprintf("crash%03d", i)
+		x := 300 + float64(i%20)*25
+		y := 300 + float64(i/20)*25
+		body, _ := json.Marshal(map[string]any{
+			"id":  id,
+			"wkt": fmt.Sprintf("POLYGON ((%g %g, %g %g, %g %g, %g %g, %g %g))", x, y, x+20, y, x+20, y+20, x, y+20, x, y),
+		})
+		issued = append(issued, id)
+		resp, err := http.Post(base+"/api/regions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			break // the kill landed mid-request
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code != http.StatusCreated {
+			t.Fatalf("POST /api/regions %s: status %d", id, code)
+		}
+		acked.Add(1)
+	}
+	<-killed
+	ackedN := int(acked.Load())
+	if ackedN == 0 {
+		t.Fatal("daemon died before acknowledging any edit; nothing to verify")
+	}
+	t.Logf("killed after %d acknowledged adds", ackedN)
+
+	// Restart from the data directory alone: no -greece, no -config.
+	_, base2 := startDaemon(t, bin, "-data", dataDir)
+
+	var status struct {
+		Seq     uint64 `json:"seq"`
+		Err     string `json:"err"`
+		Seeded  bool   `json:"seeded_from_snapshot"`
+		Skipped int    `json:"skipped_records"`
+	}
+	getJSON(t, base2, "/api/admin/status", &status)
+	if status.Err != "" || status.Skipped != 0 {
+		t.Fatalf("recovery not clean: %+v", status)
+	}
+	if !status.Seeded {
+		t.Error("recovery did not seed from the snapshot")
+	}
+
+	var regions struct {
+		Regions []struct {
+			ID string `json:"id"`
+		} `json:"regions"`
+	}
+	getJSON(t, base2, "/api/regions", &regions)
+	recovered := make(map[string]bool, len(regions.Regions))
+	for _, r := range regions.Regions {
+		recovered[r.ID] = true
+	}
+
+	// Invariant 1: a contiguous prefix of the issued stream survived, and
+	// it covers every acknowledged edit.
+	n := 0
+	for _, id := range issued {
+		if !recovered[id] {
+			break
+		}
+		n++
+	}
+	for _, id := range issued[n:] {
+		if recovered[id] {
+			t.Fatalf("recovered set is not a prefix: %s survived but an earlier add did not", id)
+		}
+	}
+	if n < ackedN {
+		t.Fatalf("acknowledged edit lost: %d acked, only prefix of %d recovered", ackedN, n)
+	}
+	if want := 11 + n; len(recovered) != want {
+		t.Fatalf("recovered %d regions, want Greece's 11 + %d adds", len(recovered), n)
+	}
+	t.Logf("recovered %d/%d issued adds (>= %d acked)", n, len(issued), ackedN)
+
+	// Invariant 2 (differential): the served relations equal a from-scratch
+	// batch computation over the recovered geometries.
+	named := make([]core.NamedRegion, 0, len(recovered))
+	for _, r := range regions.Regions {
+		var detail struct {
+			WKT string `json:"wkt"`
+		}
+		getJSON(t, base2, "/api/regions/"+r.ID, &detail)
+		g, err := geom.ParseWKT(detail.WKT)
+		if err != nil {
+			t.Fatalf("parsing recovered geometry of %s: %v", r.ID, err)
+		}
+		named = append(named, core.NamedRegion{Name: r.ID, Region: g})
+	}
+	wantCDR, err := core.BatchCDR(t.Context(), named, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPct, err := core.BatchPct(t.Context(), named, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var served struct {
+		Pairs []struct {
+			Primary   string             `json:"primary"`
+			Reference string             `json:"reference"`
+			Relation  string             `json:"relation"`
+			Pct       map[string]float64 `json:"pct"`
+		} `json:"pairs"`
+	}
+	getJSON(t, base2, "/api/relations", &served)
+	if len(served.Pairs) != len(wantCDR.Pairs) {
+		t.Fatalf("served %d pairs, recomputed %d", len(served.Pairs), len(wantCDR.Pairs))
+	}
+	for i, p := range served.Pairs {
+		w := wantCDR.Pairs[i]
+		if p.Primary != w.Primary || p.Reference != w.Reference || p.Relation != w.Relation.String() {
+			t.Fatalf("pair %d: served %s/%s=%s, recomputed %s/%s=%s",
+				i, p.Primary, p.Reference, p.Relation, w.Primary, w.Reference, w.Relation)
+		}
+	}
+
+	getJSON(t, base2, "/api/relations?pct=1", &served)
+	if len(served.Pairs) != len(wantPct.Pairs) {
+		t.Fatalf("served %d pct pairs, recomputed %d", len(served.Pairs), len(wantPct.Pairs))
+	}
+	for i, p := range served.Pairs {
+		w := wantPct.Pairs[i]
+		if p.Primary != w.Primary || p.Reference != w.Reference {
+			t.Fatalf("pct pair %d names: %s/%s vs %s/%s", i, p.Primary, p.Reference, w.Primary, w.Reference)
+		}
+		for _, tile := range core.Tiles() {
+			got := p.Pct[tile.String()] // zero tiles are omitted on the wire
+			if want := w.Matrix.Get(tile); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("pct pair %s/%s tile %s: served %v, recomputed %v",
+					p.Primary, p.Reference, tile, got, want)
+			}
+		}
+	}
+}
+
 // TestRunFlagErrors covers the config-resolution failure modes without
 // binding a socket.
 func TestRunFlagErrors(t *testing.T) {
@@ -113,10 +303,11 @@ func TestRunFlagErrors(t *testing.T) {
 		{},                              // no configuration
 		{"-greece", "-config", "x.xml"}, // both sources
 		{"-config", filepath.Join(t.TempDir(), "missing.xml")},
+		{"-data", t.TempDir()},                                   // empty data dir needs a seed
+		{"-greece", "-data", t.TempDir(), "-fsync", "sometimes"}, // bad policy
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
 	}
 }
-

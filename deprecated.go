@@ -1,0 +1,49 @@
+package cardirect
+
+import "cardirect/internal/core"
+
+// The pre-consolidation all-pairs entry points. Each is a thin veneer over
+// the same batch engine behind BatchCDR/BatchPct and is kept only for
+// source compatibility; deprecated_test.go pins their parity with the
+// consolidated API.
+var (
+	// ComputeAllPairs computes every ordered pair's relation sequentially.
+	//
+	// Deprecated: use BatchCDR.
+	ComputeAllPairs = core.ComputeAllPairs
+	// ComputeAllPairsParallel is ComputeAllPairs on a worker pool sized to
+	// GOMAXPROCS, with identical (deterministic) output.
+	//
+	// Deprecated: use BatchCDR.
+	ComputeAllPairsParallel = core.ComputeAllPairsParallel
+	// ComputeAllPairsOpt is the configurable batch engine; it also reports
+	// instrumentation (edge counts, MBB prune hits).
+	//
+	// Deprecated: use BatchCDR.
+	ComputeAllPairsOpt = core.ComputeAllPairsOpt
+	// ComputeAllPairsPrepared runs the batch engine over already-prepared
+	// regions.
+	//
+	// Deprecated: use BatchCDR with BatchOptions.Prepared.
+	ComputeAllPairsPrepared = core.ComputeAllPairsPrepared
+	// ComputeAllPairsPct computes every ordered pair's percent matrix
+	// sequentially through the prepared engine.
+	//
+	// Deprecated: use BatchPct.
+	ComputeAllPairsPct = core.ComputeAllPairsPct
+	// ComputeAllPairsPctParallel is ComputeAllPairsPct on a GOMAXPROCS
+	// worker pool, with identical (deterministic) output.
+	//
+	// Deprecated: use BatchPct.
+	ComputeAllPairsPctParallel = core.ComputeAllPairsPctParallel
+	// ComputeAllPairsPctOpt is the configurable quantitative batch engine;
+	// it also reports instrumentation (fast-path hits, edge counts).
+	//
+	// Deprecated: use BatchPct.
+	ComputeAllPairsPctOpt = core.ComputeAllPairsPctOpt
+	// ComputeAllPairsPctPrepared runs the quantitative batch over
+	// already-prepared regions.
+	//
+	// Deprecated: use BatchPct with BatchOptions.Prepared.
+	ComputeAllPairsPctPrepared = core.ComputeAllPairsPctPrepared
+)

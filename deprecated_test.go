@@ -1,0 +1,80 @@
+package cardirect_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"cardirect"
+)
+
+// TestDeprecatedAllPairsParity pins every deprecated ComputeAllPairs*
+// wrapper to the consolidated BatchCDR/BatchPct answers: the old names are
+// veneers over the same engine, so their output must stay identical until
+// they are removed.
+func TestDeprecatedAllPairsParity(t *testing.T) {
+	gen := cardirect.NewGenerator(41)
+	raw := gen.Scatter(9, 10)
+	regions := make([]cardirect.NamedRegion, len(raw))
+	for i, g := range raw {
+		regions[i] = cardirect.NamedRegion{Name: string(rune('a' + i)), Region: g}
+	}
+	ctx := context.Background()
+
+	want, err := cardirect.BatchCDR(ctx, regions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPct, err := cardirect.BatchPct(ctx, regions, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := cardirect.PrepareAll(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]func() ([]cardirect.PairRelation, error){
+		"ComputeAllPairs":         func() ([]cardirect.PairRelation, error) { return cardirect.ComputeAllPairs(regions) },
+		"ComputeAllPairsParallel": func() ([]cardirect.PairRelation, error) { return cardirect.ComputeAllPairsParallel(regions) },
+		"ComputeAllPairsOpt": func() ([]cardirect.PairRelation, error) {
+			pairs, _, err := cardirect.ComputeAllPairsOpt(regions, cardirect.BatchOptions{})
+			return pairs, err
+		},
+		"ComputeAllPairsPrepared": func() ([]cardirect.PairRelation, error) {
+			pairs, _, err := cardirect.ComputeAllPairsPrepared(prepared, cardirect.BatchOptions{})
+			return pairs, err
+		},
+	} {
+		pairs, err := got()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(pairs, want.Pairs) {
+			t.Errorf("%s diverged from BatchCDR", name)
+		}
+	}
+
+	for name, got := range map[string]func() ([]cardirect.PairPercent, error){
+		"ComputeAllPairsPct": func() ([]cardirect.PairPercent, error) { return cardirect.ComputeAllPairsPct(regions) },
+		"ComputeAllPairsPctParallel": func() ([]cardirect.PairPercent, error) {
+			return cardirect.ComputeAllPairsPctParallel(regions)
+		},
+		"ComputeAllPairsPctOpt": func() ([]cardirect.PairPercent, error) {
+			pairs, _, err := cardirect.ComputeAllPairsPctOpt(regions, cardirect.BatchOptions{})
+			return pairs, err
+		},
+		"ComputeAllPairsPctPrepared": func() ([]cardirect.PairPercent, error) {
+			pairs, _, err := cardirect.ComputeAllPairsPctPrepared(prepared, cardirect.BatchOptions{})
+			return pairs, err
+		},
+	} {
+		pairs, err := got()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(pairs, wantPct.Pairs) {
+			t.Errorf("%s diverged from BatchPct", name)
+		}
+	}
+}

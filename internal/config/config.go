@@ -26,6 +26,8 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -251,11 +253,14 @@ func (img *Image) RelationBetween(p, q string) (Relation, bool) {
 	return Relation{}, false
 }
 
-// encodePct serialises a percentage matrix in tile order.
+// encodePct serialises a percentage matrix in tile order. The shortest
+// round-trippable float formatting makes ParsePct(encodePct(m)) == m
+// bit-exact — the property the persistence subsystem's seeded recovery and
+// FuzzParsePct rely on.
 func encodePct(m core.PercentMatrix) string {
 	parts := make([]string, 0, core.NumTiles)
 	for _, t := range core.Tiles() {
-		parts = append(parts, strconv.FormatFloat(m.Get(t), 'g', 10, 64))
+		parts = append(parts, strconv.FormatFloat(m.Get(t), 'g', -1, 64))
 	}
 	return strings.Join(parts, ";")
 }
@@ -271,6 +276,9 @@ func ParsePct(s string) (core.PercentMatrix, error) {
 		v, err := strconv.ParseFloat(parts[i], 64)
 		if err != nil {
 			return m, fmt.Errorf("config: pct field %d: %w", i, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return m, fmt.Errorf("config: pct field %d: non-finite value %q", i, parts[i])
 		}
 		m.Set(t, v)
 	}
@@ -292,14 +300,32 @@ func Parse(data []byte) (*Image, error) {
 	return Load(strings.NewReader(string(data)))
 }
 
-// Save writes the image as indented XML with the standard header.
+// Save writes the image as indented XML with the standard header. Regions
+// are emitted in sorted-id order and relations sorted by (primary,
+// reference, type), so saving the same logical document always produces the
+// same bytes — snapshot files are byte-stable and diffable across runs
+// regardless of edit history. The in-memory document is not reordered.
 func (img *Image) Save(w io.Writer) error {
 	if _, err := io.WriteString(w, xml.Header); err != nil {
 		return err
 	}
+	out := Image{XMLName: img.XMLName, Name: img.Name, File: img.File}
+	out.Regions = append([]Region(nil), img.Regions...)
+	sort.SliceStable(out.Regions, func(i, j int) bool { return out.Regions[i].ID < out.Regions[j].ID })
+	out.Relations = append([]Relation(nil), img.Relations...)
+	sort.SliceStable(out.Relations, func(i, j int) bool {
+		a, b := &out.Relations[i], &out.Relations[j]
+		if a.Primary != b.Primary {
+			return a.Primary < b.Primary
+		}
+		if a.Reference != b.Reference {
+			return a.Reference < b.Reference
+		}
+		return a.Type < b.Type
+	})
 	enc := xml.NewEncoder(w)
 	enc.Indent("", "  ")
-	if err := enc.Encode(img); err != nil {
+	if err := enc.Encode(&out); err != nil {
 		return fmt.Errorf("config: encoding image: %w", err)
 	}
 	return enc.Close()

@@ -1,6 +1,46 @@
 package config
 
-import "testing"
+import (
+	"testing"
+
+	"cardirect/internal/core"
+)
+
+// FuzzParsePct checks the pct-attribute decoder never panics on arbitrary
+// input and that whatever it accepts round-trips bit-exactly through
+// encodePct — the invariant seeded recovery depends on: a percent matrix
+// written to a snapshot is read back as exactly the cached value.
+func FuzzParsePct(f *testing.F) {
+	var m core.PercentMatrix
+	for i, t := range core.Tiles() {
+		m.Set(t, float64(i)*100/9)
+	}
+	f.Add(encodePct(m))
+	f.Add("0;0;0;0;0;0;0;0;0")
+	f.Add("100;0;0;0;0;0;0;0;0")
+	f.Add("1e-300;2.5;33.333333333333336;0;0;0;0;0;64.1")
+	f.Add("nope")
+	f.Add(";;;;;;;;")
+	f.Add("NaN;0;0;0;0;0;0;0;0")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParsePct(s)
+		if err != nil {
+			return
+		}
+		enc := encodePct(m)
+		back, err := ParsePct(enc)
+		if err != nil {
+			t.Fatalf("encodePct produced unparseable %q: %v", enc, err)
+		}
+		if back != m {
+			t.Fatalf("round-trip changed matrix: %v -> %q -> %v", m, enc, back)
+		}
+		// And a second encode is byte-stable.
+		if enc2 := encodePct(back); enc2 != enc {
+			t.Fatalf("encodePct not stable: %q vs %q", enc, enc2)
+		}
+	})
+}
 
 // FuzzParseImage checks the XML loader never panics and that accepted,
 // valid documents survive a save/load roundtrip structurally.

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -62,6 +63,82 @@ func Track(img *Image, opt core.StoreOptions) (*Tracked, error) {
 	tr := &Tracked{img: img, store: store, idx: idx}
 	img.Watch(tr)
 	return tr, nil
+}
+
+// TrackSeeded is Track for documents whose materialised Relation list is
+// trusted: when the relations cover every ordered pair (with parseable pct
+// attributes when opt.Pct is set), the relation store is seeded from them
+// instead of recomputing all pairs — the recovery fast path of the
+// persistence subsystem, which only ever feeds back snapshots the store
+// itself wrote. An incomplete, stale or unparseable relation list silently
+// falls back to the computing path; the returned flag reports which path
+// was taken. Do not use on hand-edited documents: seeded relations are
+// served as-is, wrong values included.
+func TrackSeeded(img *Image, opt core.StoreOptions) (*Tracked, bool, error) {
+	if err := img.Validate(); err != nil {
+		return nil, false, err
+	}
+	seed, ok := seedFromRelations(img, opt.Pct)
+	if !ok {
+		tr, err := Track(img, opt)
+		return tr, false, err
+	}
+	regions := make([]core.NamedRegion, len(img.Regions))
+	for i := range img.Regions {
+		regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: img.Regions[i].Geometry()}
+	}
+	store, err := core.NewRelationStoreSeeded(regions, seed, opt)
+	if errors.Is(err, core.ErrBadSeed) {
+		tr, err := Track(img, opt)
+		return tr, false, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	idx, err := index.NewLive(regions)
+	if err != nil {
+		return nil, false, err
+	}
+	tr := &Tracked{img: img, store: store, idx: idx}
+	img.Watch(tr)
+	return tr, true, nil
+}
+
+// seedFromRelations converts the materialised Relation list into a store
+// seed, reporting false when the list cannot possibly cover all pairs or an
+// entry does not parse.
+func seedFromRelations(img *Image, withPct bool) (core.StoreSeed, bool) {
+	n := len(img.Regions)
+	want := n * (n - 1)
+	if len(img.Relations) != want {
+		return core.StoreSeed{}, false
+	}
+	seed := core.StoreSeed{Pairs: make([]core.PairRelation, 0, want)}
+	if withPct {
+		seed.Pcts = make([]core.PairPercent, 0, want)
+	}
+	for _, rel := range img.Relations {
+		r, err := core.ParseRelation(rel.Type)
+		if err != nil {
+			return core.StoreSeed{}, false
+		}
+		seed.Pairs = append(seed.Pairs, core.PairRelation{
+			Primary: rel.Primary, Reference: rel.Reference, Relation: r,
+		})
+		if withPct {
+			if rel.Pct == "" {
+				return core.StoreSeed{}, false
+			}
+			m, err := ParsePct(rel.Pct)
+			if err != nil {
+				return core.StoreSeed{}, false
+			}
+			seed.Pcts = append(seed.Pcts, core.PairPercent{
+				Primary: rel.Primary, Reference: rel.Reference, Matrix: m,
+			})
+		}
+	}
+	return seed, true
 }
 
 // Store returns the maintained relation store.

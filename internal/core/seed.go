@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadSeed is returned (wrapped, with detail) by NewRelationStoreSeeded
+// when the supplied pairs do not cover the region set exactly; callers fall
+// back to the computing constructor on errors.Is(err, ErrBadSeed).
+var ErrBadSeed = errors.New("core: seed does not match the region set")
+
+// StoreSeed carries a previously computed all-pairs result for
+// NewRelationStoreSeeded: the qualitative relations and — when the store is
+// to maintain percentages — the percent matrices of every ordered pair, in
+// any order. This is the recovery fast path of the persistence subsystem:
+// a snapshot written from a store's own cache is loaded back without
+// recomputing a single pair.
+type StoreSeed struct {
+	Pairs []PairRelation
+	// Pcts is consulted only with StoreOptions.Pct. Entries with zero
+	// Areas get them reconstructed from the matrix and the region's total
+	// area (the percent matrix is areas normalised by total area, so the
+	// reconstruction is exact up to the matrix's own rounding).
+	Pcts []PairPercent
+}
+
+// NewRelationStoreSeeded builds a store over the given regions, filling the
+// cached all-pairs matrices from seed instead of computing them. The seed
+// must contain exactly one entry per ordered pair of distinct region names
+// (and with opt.Pct, one percent entry per pair); otherwise a wrapped
+// ErrBadSeed is returned and the caller should fall back to
+// NewRelationStore. The seed values are trusted — the caller vouches they
+// were computed over these exact geometries (a snapshot the store itself
+// wrote); a fabricated seed yields a store that serves fabricated answers.
+func NewRelationStoreSeeded(regions []NamedRegion, seed StoreSeed, opt StoreOptions) (*RelationStore, error) {
+	ps, err := PrepareAll(regions)
+	if err != nil {
+		return nil, err
+	}
+	s := &RelationStore{opt: opt, idx: make(map[string]int, len(ps))}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	for i, p := range ps {
+		if err := s.usable(p); err != nil {
+			return nil, err
+		}
+		s.idx[p.Name] = i
+	}
+	s.ps = ps
+	n := len(ps)
+	s.rels = make([][]Relation, n)
+	for i := range s.rels {
+		s.rels[i] = make([]Relation, n)
+	}
+	if opt.Pct {
+		s.pcts = make([][]pctCell, n)
+		for i := range s.pcts {
+			s.pcts[i] = make([]pctCell, n)
+		}
+	}
+	want := n * (n - 1)
+	if len(seed.Pairs) != want {
+		return nil, fmt.Errorf("core: %d qualitative pairs for %d regions, want %d: %w",
+			len(seed.Pairs), n, want, ErrBadSeed)
+	}
+	filled := make([][]bool, n)
+	for i := range filled {
+		filled[i] = make([]bool, n)
+	}
+	for _, pr := range seed.Pairs {
+		i, j, err := s.seedSlots(pr.Primary, pr.Reference, filled)
+		if err != nil {
+			return nil, err
+		}
+		s.rels[i][j] = pr.Relation
+	}
+	if opt.Pct {
+		if len(seed.Pcts) != want {
+			return nil, fmt.Errorf("core: %d percent pairs for %d regions, want %d: %w",
+				len(seed.Pcts), n, want, ErrBadSeed)
+		}
+		for i := range filled {
+			for j := range filled[i] {
+				filled[i][j] = false
+			}
+		}
+		for _, pp := range seed.Pcts {
+			i, j, err := s.seedSlots(pp.Primary, pp.Reference, filled)
+			if err != nil {
+				return nil, err
+			}
+			cell := pctCell{matrix: pp.Matrix, areas: pp.Areas}
+			if cell.areas == (TileAreas{}) {
+				// Reconstruct absolute areas from the percentages: the
+				// matrix was computed as areas/total*100 over this exact
+				// geometry.
+				total := s.ps[i].totalArea
+				for t := range cell.areas {
+					cell.areas[t] = cell.matrix.Get(Tile(t)) * total / 100
+				}
+			}
+			s.pcts[i][j] = cell
+		}
+	}
+	return s, nil
+}
+
+// seedSlots resolves one seed entry's matrix cell, rejecting unknown names,
+// self-pairs and duplicates.
+func (s *RelationStore) seedSlots(primary, reference string, filled [][]bool) (int, int, error) {
+	i, ok := s.idx[primary]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: seed names unknown region %q: %w", primary, ErrBadSeed)
+	}
+	j, ok := s.idx[reference]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: seed names unknown region %q: %w", reference, ErrBadSeed)
+	}
+	if i == j {
+		return 0, 0, fmt.Errorf("core: seed pairs region %q with itself: %w", primary, ErrBadSeed)
+	}
+	if filled[i][j] {
+		return 0, 0, fmt.Errorf("core: seed repeats pair (%q, %q): %w", primary, reference, ErrBadSeed)
+	}
+	filled[i][j] = true
+	return i, j, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"cardirect/internal/workload"
+)
+
+// seedRegions builds a deterministic mixed workload for seeding tests.
+func seedRegions(t *testing.T, n int) []NamedRegion {
+	t.Helper()
+	gen := workload.New(7)
+	rs := gen.Scatter(n, 8)
+	out := make([]NamedRegion, n)
+	for i, r := range rs {
+		out[i] = NamedRegion{Name: nameOf(i), Region: r}
+	}
+	return out
+}
+
+func nameOf(i int) string {
+	return string([]byte{'r', byte('a' + i/26), byte('a' + i%26)})
+}
+
+// TestSeededStoreMatchesComputed builds one store by computing and a second
+// from the first one's cached pairs, then checks they are indistinguishable
+// — including after further edits through the delta path.
+func TestSeededStoreMatchesComputed(t *testing.T) {
+	regions := seedRegions(t, 12)
+	opt := StoreOptions{Pct: true}
+	computed, err := NewRelationStore(regions, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcts, err := computed.PctPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := NewRelationStoreSeeded(regions, StoreSeed{Pairs: computed.Pairs(), Pcts: pcts}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seeded.Pairs(), computed.Pairs()) {
+		t.Fatal("seeded store pairs differ from computed")
+	}
+	sp, err := seeded.PctPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, pcts) {
+		t.Fatal("seeded store percent pairs differ from computed")
+	}
+	// The delta path must work identically on a seeded store.
+	extra := workload.New(99).Scatter(2, 8)
+	for _, s := range []*RelationStore{computed, seeded} {
+		if err := s.Add("zzz", extra[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetGeometry("raa", extra[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Remove("rab"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(seeded.Pairs(), computed.Pairs()) {
+		t.Fatal("stores diverged after edits")
+	}
+}
+
+// TestSeededStoreAreasReconstructed seeds percent entries without areas and
+// checks the reconstructed areas match the computed ones.
+func TestSeededStoreAreasReconstructed(t *testing.T) {
+	regions := seedRegions(t, 8)
+	opt := StoreOptions{Pct: true}
+	computed, err := NewRelationStore(regions, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcts, err := computed.PctPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := make([]PairPercent, len(pcts))
+	for i, pp := range pcts {
+		pp.Areas = TileAreas{}
+		stripped[i] = pp
+	}
+	seeded, err := NewRelationStoreSeeded(regions, StoreSeed{Pairs: computed.Pairs(), Pcts: stripped}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range pcts {
+		got, err := seeded.Areas(pp.Primary, pp.Reference)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := range got {
+			want := pp.Areas[ti]
+			diff := got[ti] - want
+			if diff < 0 {
+				diff = -diff
+			}
+			tol := 1e-9 * (1 + want)
+			if diff > tol {
+				t.Fatalf("pair (%s,%s) tile %d: reconstructed area %g, computed %g",
+					pp.Primary, pp.Reference, ti, got[ti], want)
+			}
+		}
+	}
+}
+
+// TestSeededStoreRejectsBadSeeds covers the ErrBadSeed surface.
+func TestSeededStoreRejectsBadSeeds(t *testing.T) {
+	regions := seedRegions(t, 4)
+	opt := StoreOptions{}
+	computed, err := NewRelationStore(regions, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := computed.Pairs()
+	bad := [][]PairRelation{
+		good[:len(good)-1],                       // missing pair
+		append([]PairRelation{good[0]}, good...), // duplicate pair
+		func() []PairRelation { // unknown name
+			c := append([]PairRelation{}, good...)
+			c[0].Primary = "nope"
+			return c
+		}(),
+		func() []PairRelation { // self pair
+			c := append([]PairRelation{}, good...)
+			c[0].Reference = c[0].Primary
+			return c
+		}(),
+	}
+	for i, pairs := range bad {
+		if _, err := NewRelationStoreSeeded(regions, StoreSeed{Pairs: pairs}, opt); !errors.Is(err, ErrBadSeed) {
+			t.Errorf("bad seed %d: err = %v, want ErrBadSeed", i, err)
+		}
+	}
+	// Pct demanded but no percent entries.
+	if _, err := NewRelationStoreSeeded(regions, StoreSeed{Pairs: good}, StoreOptions{Pct: true}); !errors.Is(err, ErrBadSeed) {
+		t.Errorf("missing pcts: err = %v, want ErrBadSeed", err)
+	}
+}

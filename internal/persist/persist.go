@@ -1,0 +1,541 @@
+// Package persist is the durability subsystem of the cardirect service: it
+// owns a data directory holding the paper's XML configuration format as
+// point-in-time snapshots plus a write-ahead log of the region edits since
+// the last snapshot, and recovers the tracked store from them after a
+// crash or restart.
+//
+// Data directory layout:
+//
+//	snapshot-<seq>.xml   full configuration (regions + materialised
+//	                     relations with pct), written by the DTD writer in
+//	                     sorted-id order via temp file + atomic rename
+//	wal-<seq>.log        region edits applied after snapshot <seq>
+//	                     (see internal/wal for the framing)
+//
+// Exactly one (snapshot, wal) generation is live at a time; Snapshot()
+// writes generation seq+1 and removes generation seq, which truncates the
+// log. Recovery loads the newest readable snapshot, seeds the relation
+// store from its materialised relations (no all-pairs recompute — see
+// config.TrackSeeded), and replays the WAL tail through the tracked
+// store's edit methods, so the delta engine rebuilds exactly the cached
+// pairs the edits touched. A torn or bit-flipped WAL tail is detected by
+// the log's CRC framing and discarded with a logged warning; it is never a
+// startup failure.
+//
+// Edit ordering is apply-then-log: an edit is validated and applied to the
+// in-memory store first, appended to the WAL second, and acknowledged to
+// the caller last. Under wal.SyncAlways an acknowledged edit is therefore
+// on stable storage; a crash between apply and ack loses at most that
+// unacknowledged edit, so recovery always yields a prefix of the
+// acknowledged edit stream.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/wal"
+)
+
+// ErrEmptyWorld is returned by Snapshot when the configuration holds no
+// regions: the paper's DTD requires Region+, so an empty world has no
+// snapshot representation.
+var ErrEmptyWorld = errors.New("persist: cannot snapshot an empty configuration (the DTD requires Region+)")
+
+// Options configures a Store.
+type Options struct {
+	// Sync is the WAL fsync discipline; the zero value is wal.SyncAlways.
+	Sync wal.Options
+	// Workers is the worker-pool size for the relation store (initial
+	// build, replay deltas); values ≤ 0 mean GOMAXPROCS.
+	Workers int
+	// Pct maintains percent matrices alongside the qualitative relations.
+	Pct bool
+	// Logger receives recovery and corruption warnings; nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+// Store owns a data directory and the tracked configuration recovered from
+// it. All edits must flow through the Store's edit methods so they are
+// write-ahead logged; reads go through Tracked() as usual.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+	opt Options
+	log *slog.Logger
+
+	tr  *config.Tracked
+	w   *wal.Writer
+	seq uint64
+
+	// walCum accumulates metrics of rotated-out log writers, so Status
+	// reports totals across the store's lifetime.
+	walCum wal.Metrics
+
+	recoveryNs int64
+	replayed   int
+	skipped    int
+	seeded     bool
+	corruption string
+	lastSnap   time.Time
+	err        error
+}
+
+// Status is a point-in-time view of the store for the admin surface.
+type Status struct {
+	Dir     string `json:"dir"`
+	Seq     uint64 `json:"seq"`
+	Regions int    `json:"regions"`
+	// WAL are the cumulative log-writer counters (records, bytes, fsyncs)
+	// across all generations since Open.
+	WAL wal.Metrics `json:"wal"`
+	// RecoveryNs is the wall time Open spent loading the snapshot, seeding
+	// the store and replaying the WAL tail.
+	RecoveryNs int64 `json:"recovery_ns"`
+	// ReplayedRecords counts WAL records applied during recovery.
+	ReplayedRecords int `json:"replayed_records"`
+	// SkippedRecords counts WAL records that failed to apply during
+	// recovery and were dropped with a warning.
+	SkippedRecords int `json:"skipped_records"`
+	// SeededFromSnapshot reports whether recovery filled the relation
+	// store from the snapshot's materialised relations (true) or had to
+	// recompute all pairs (false; also false for a fresh initialisation).
+	SeededFromSnapshot bool `json:"seeded_from_snapshot"`
+	// Corruption describes a discarded WAL tail ("" when the log was
+	// intact).
+	Corruption string `json:"corruption,omitempty"`
+	// LastSnapshot is when the live snapshot generation was written.
+	LastSnapshot time.Time `json:"last_snapshot"`
+	// Err is a latched write failure ("" when healthy): once the WAL
+	// cannot be appended to, every further edit is refused.
+	Err string `json:"err,omitempty"`
+}
+
+// SnapshotInfo describes one Snapshot() rotation.
+type SnapshotInfo struct {
+	Seq        uint64 `json:"seq"`
+	Path       string `json:"path"`
+	Bytes      int64  `json:"bytes"`
+	Regions    int    `json:"regions"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+func snapshotName(seq uint64) string { return fmt.Sprintf("snapshot-%08d.xml", seq) }
+func walName(seq uint64) string      { return fmt.Sprintf("wal-%08d.log", seq) }
+
+// Open recovers a store from dir, or initialises dir from seed when it
+// holds no snapshot yet. A non-nil seed alongside an initialised directory
+// is ignored (with a logged note): the durable state wins, so a service
+// restarted with its bootstrap flags recovers instead of resetting.
+func Open(dir string, seed *config.Image, opt Options) (*Store, error) {
+	if opt.Logger == nil {
+		opt.Logger = slog.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt, log: opt.Logger}
+	seqs, err := s.scanSnapshots()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if len(seqs) == 0 {
+		if seed == nil {
+			return nil, fmt.Errorf("persist: data dir %s holds no snapshot and no seed configuration was given", dir)
+		}
+		if err := s.initialise(seed); err != nil {
+			return nil, err
+		}
+	} else {
+		if seed != nil {
+			s.log.Info("persist: data dir already initialised; ignoring seed configuration", "dir", dir)
+		}
+		if err := s.recover(seqs); err != nil {
+			return nil, err
+		}
+	}
+	s.recoveryNs = time.Since(start).Nanoseconds()
+	s.removeStale()
+	return s, nil
+}
+
+// scanSnapshots lists the snapshot generations present in the directory,
+// ascending.
+func (s *Store) scanSnapshots() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading data dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if n, _ := fmt.Sscanf(e.Name(), "snapshot-%d.xml", &seq); n == 1 && e.Name() == snapshotName(seq) {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// initialise writes generation 1 from the seed document: full relation
+// computation, snapshot, fresh log.
+func (s *Store) initialise(seed *config.Image) error {
+	tr, err := config.Track(seed, core.StoreOptions{Workers: s.opt.Workers, Pct: s.opt.Pct})
+	if err != nil {
+		return fmt.Errorf("persist: building store from seed: %w", err)
+	}
+	s.tr = tr
+	s.seq = 1
+	if err := s.writeSnapshotFile(s.seq); err != nil {
+		return err
+	}
+	w, err := wal.Create(filepath.Join(s.dir, walName(s.seq)), s.opt.Sync)
+	if err != nil {
+		return fmt.Errorf("persist: creating log: %w", err)
+	}
+	s.w = w
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	s.lastSnap = time.Now()
+	return nil
+}
+
+// recover loads the newest readable snapshot generation and replays its WAL
+// tail. Unreadable snapshots (half-written by a crashed rotation, or
+// damaged on disk) fall back to the previous generation with a warning.
+func (s *Store) recover(seqs []uint64) error {
+	var img *config.Image
+	for i := len(seqs) - 1; i >= 0; i-- {
+		seq := seqs[i]
+		path := filepath.Join(s.dir, snapshotName(seq))
+		loaded, err := loadSnapshot(path)
+		if err != nil {
+			s.log.Warn("persist: skipping unreadable snapshot", "path", path, "err", err)
+			continue
+		}
+		img = loaded
+		s.seq = seq
+		break
+	}
+	if img == nil {
+		return fmt.Errorf("persist: no readable snapshot in %s (%d candidates)", s.dir, len(seqs))
+	}
+
+	tr, seeded, err := config.TrackSeeded(img, core.StoreOptions{Workers: s.opt.Workers, Pct: s.opt.Pct})
+	if err != nil {
+		return fmt.Errorf("persist: building store from %s: %w", snapshotName(s.seq), err)
+	}
+	s.tr = tr
+	s.seeded = seeded
+	if !seeded {
+		s.log.Warn("persist: snapshot relations unusable as seed; recomputed all pairs", "snapshot", snapshotName(s.seq))
+	}
+
+	walPath := filepath.Join(s.dir, walName(s.seq))
+	recs, valid, corr, err := wal.ReplayFile(walPath)
+	if err != nil {
+		return fmt.Errorf("persist: reading log: %w", err)
+	}
+	if corr != nil {
+		s.corruption = corr.String()
+		s.log.Warn("persist: discarding torn log tail", "log", walName(s.seq), "at", corr.String(), "intact_records", len(recs))
+	}
+	for _, rec := range recs {
+		if err := s.apply(rec); err != nil {
+			// A record that does not apply cannot arise from our own
+			// apply-then-log ordering; tolerate it anyway (version skew, a
+			// hand-edited directory) the same way as a torn tail: keep
+			// what is consistent, warn, carry on.
+			s.skipped++
+			s.log.Warn("persist: skipping unreplayable record", "op", rec.Op.String(), "id", rec.ID, "err", err)
+			continue
+		}
+		s.replayed++
+	}
+	if err := s.tr.Err(); err != nil {
+		return fmt.Errorf("persist: tracked store diverged during replay: %w", err)
+	}
+	w, err := wal.OpenAppend(walPath, valid, s.opt.Sync)
+	if err != nil {
+		return fmt.Errorf("persist: opening log for append: %w", err)
+	}
+	s.w = w
+	if st, err := os.Stat(filepath.Join(s.dir, snapshotName(s.seq))); err == nil {
+		s.lastSnap = st.ModTime()
+	}
+	return nil
+}
+
+// apply routes one log record through the tracked store's edit methods —
+// the same delta path live edits take.
+func (s *Store) apply(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpAdd:
+		return s.tr.AddRegion(rec.ID, rec.Name, rec.Color, rec.Geometry)
+	case wal.OpRemove:
+		return s.tr.RemoveRegion(rec.ID)
+	case wal.OpRename:
+		return s.tr.RenameRegion(rec.ID, rec.NewID)
+	case wal.OpSetGeometry:
+		return s.tr.SetRegionGeometry(rec.ID, rec.Geometry)
+	default:
+		return fmt.Errorf("persist: unknown op %d", rec.Op)
+	}
+}
+
+// loadSnapshot parses and validates one snapshot file.
+func loadSnapshot(path string) (*config.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	img, err := config.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// Tracked returns the recovered tracked configuration. Do not edit it
+// directly — route edits through the Store so they are logged.
+func (s *Store) Tracked() *config.Tracked { return s.tr }
+
+// Dir returns the owned data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// logged wraps one edit: apply to the tracked store, then append to the
+// WAL, then return (= acknowledge). A WAL append failure is latched — the
+// in-memory state is ahead of the durable state from that point on, so
+// every subsequent edit is refused until the operator restarts the
+// service.
+func (s *Store) logged(rec wal.Record, apply func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return fmt.Errorf("persist: store failed earlier: %w", s.err)
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	if err := s.w.Append(rec); err != nil {
+		s.err = err
+		s.log.Error("persist: WAL append failed; refusing further edits", "err", err)
+		return fmt.Errorf("persist: edit applied in memory but not logged: %w", err)
+	}
+	return nil
+}
+
+// AddRegion applies and logs a region addition.
+func (s *Store) AddRegion(id, name, color string, g geom.Region) error {
+	return s.logged(wal.Record{Op: wal.OpAdd, ID: id, Name: name, Color: color, Geometry: g},
+		func() error { return s.tr.AddRegion(id, name, color, g) })
+}
+
+// RemoveRegion applies and logs a region removal.
+func (s *Store) RemoveRegion(id string) error {
+	return s.logged(wal.Record{Op: wal.OpRemove, ID: id},
+		func() error { return s.tr.RemoveRegion(id) })
+}
+
+// RenameRegion applies and logs a region rename.
+func (s *Store) RenameRegion(oldID, newID string) error {
+	return s.logged(wal.Record{Op: wal.OpRename, ID: oldID, NewID: newID},
+		func() error { return s.tr.RenameRegion(oldID, newID) })
+}
+
+// SetRegionGeometry applies and logs a geometry replacement.
+func (s *Store) SetRegionGeometry(id string, g geom.Region) error {
+	return s.logged(wal.Record{Op: wal.OpSetGeometry, ID: id, Geometry: g},
+		func() error { return s.tr.SetRegionGeometry(id, g) })
+}
+
+// Snapshot writes the next snapshot generation and truncates the log:
+// materialise the cached relations into the document, write
+// snapshot-<seq+1>.xml via temp file + fsync + atomic rename, start
+// wal-<seq+1>.log, then delete generation seq. A crash at any point leaves
+// either generation seq intact or generation seq+1 complete — never a
+// state recovery cannot load.
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return SnapshotInfo{}, fmt.Errorf("persist: store failed earlier: %w", s.err)
+	}
+	start := time.Now()
+	next := s.seq + 1
+	if err := s.writeSnapshotFile(next); err != nil {
+		return SnapshotInfo{}, err
+	}
+	w, err := wal.Create(filepath.Join(s.dir, walName(next)), s.opt.Sync)
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("persist: creating log: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		w.Close()
+		return SnapshotInfo{}, err
+	}
+	// The new generation is durable; retire the old one.
+	if err := s.w.Close(); err != nil {
+		s.log.Warn("persist: closing retired log", "err", err)
+	}
+	s.walCum.Add(s.w.Metrics())
+	s.w = w
+	prev := s.seq
+	s.seq = next
+	s.lastSnap = time.Now()
+	s.removeGeneration(prev)
+	path := filepath.Join(s.dir, snapshotName(next))
+	info := SnapshotInfo{Seq: next, Path: path, DurationNs: time.Since(start).Nanoseconds()}
+	if st, err := os.Stat(path); err == nil {
+		info.Bytes = st.Size()
+	}
+	info.Regions = s.tr.Store().Len()
+	return info, nil
+}
+
+// writeSnapshotFile materialises the tracked relations and writes the
+// document to snapshot-<seq>.xml atomically (temp file, fsync, rename).
+func (s *Store) writeSnapshotFile(seq uint64) error {
+	if s.tr.Store().Len() == 0 {
+		return ErrEmptyWorld
+	}
+	if err := s.tr.Materialize(s.opt.Pct); err != nil {
+		return fmt.Errorf("persist: materialising relations: %w", err)
+	}
+	var data []byte
+	err := s.tr.View(func(img *config.Image) error {
+		var err error
+		data, err = img.Bytes()
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotName(seq))); err != nil {
+		return fmt.Errorf("persist: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the data directory, making renames and file creations
+// durable.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: opening data dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing data dir: %w", err)
+	}
+	return nil
+}
+
+// removeGeneration deletes generation seq's snapshot and log.
+func (s *Store) removeGeneration(seq uint64) {
+	for _, name := range []string{snapshotName(seq), walName(seq)} {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			s.log.Warn("persist: removing retired file", "file", name, "err", err)
+		}
+	}
+}
+
+// removeStale clears leftovers of interrupted rotations after recovery:
+// snapshot temp files and any generation other than the live one.
+func (s *Store) removeStale() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		keep := name == snapshotName(s.seq) || name == walName(s.seq)
+		var seq uint64
+		isSnap, _ := fmt.Sscanf(name, "snapshot-%d.xml", &seq)
+		isWal, _ := fmt.Sscanf(name, "wal-%d.log", &seq)
+		isTmp := len(name) > 4 && name[len(name)-4:] == ".tmp"
+		if keep || (isSnap == 0 && isWal == 0 && !isTmp) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			s.log.Warn("persist: removing stale file", "file", name, "err", err)
+		} else {
+			s.log.Info("persist: removed stale file", "file", name)
+		}
+	}
+}
+
+// Status reports the store's durability counters.
+func (s *Store) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Dir:                s.dir,
+		Seq:                s.seq,
+		Regions:            s.tr.Store().Len(),
+		WAL:                s.walCum,
+		RecoveryNs:         s.recoveryNs,
+		ReplayedRecords:    s.replayed,
+		SkippedRecords:     s.skipped,
+		SeededFromSnapshot: s.seeded,
+		Corruption:         s.corruption,
+		LastSnapshot:       s.lastSnap,
+	}
+	if s.w != nil {
+		st.WAL.Add(s.w.Metrics())
+	}
+	if s.err != nil {
+		st.Err = s.err.Error()
+	}
+	return st
+}
+
+// Close flushes and closes the log. The tracked store stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	s.walCum.Add(s.w.Metrics())
+	s.w = nil
+	if s.err == nil && err != nil {
+		s.err = err
+	} else if s.err == nil {
+		s.err = fmt.Errorf("persist: store closed")
+	}
+	return err
+}

@@ -1,0 +1,418 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cardirect/internal/config"
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/wal"
+	"cardirect/internal/workload"
+)
+
+// buildImage assembles a document from generated regions, ids r000, r001, …
+func buildImage(t testing.TB, regions []geom.Region) *config.Image {
+	t.Helper()
+	img := &config.Image{Name: "persist-test", File: "persist.png"}
+	for i, g := range regions {
+		id := fmt.Sprintf("r%03d", i)
+		if err := img.AddRegion(id, "Region "+id, "", g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return img
+}
+
+func openForTest(t testing.TB, dir string, seed *config.Image) *Store {
+	t.Helper()
+	s, err := Open(dir, seed, Options{Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// statePairs captures the comparable store state: qualitative and percent
+// matrices for every ordered pair.
+func statePairs(t testing.TB, tr *config.Tracked) ([]core.PairRelation, []core.PairPercent) {
+	t.Helper()
+	pairs := tr.Store().Pairs()
+	pcts, err := tr.Store().PctPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pairs, pcts
+}
+
+// TestFreshInitAndRecovery opens a fresh directory, edits through the
+// store, crashes (Close) and recovers; the recovered state must match a
+// from-scratch computation over the same final document.
+func TestFreshInitAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	gen := workload.New(7)
+	regions := gen.Scatter(10, 10)
+	extra := gen.Scatter(3, 8)
+
+	s := openForTest(t, dir, buildImage(t, regions))
+	if err := s.AddRegion("zzz", "Added", "#123456", extra[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRegionGeometry("r003", extra[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RenameRegion("r005", "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveRegion("r007"); err != nil {
+		t.Fatal(err)
+	}
+	wantPairs, wantPcts := statePairs(t, s.Tracked())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRegion("after-close", "x", "", extra[2]); err == nil {
+		t.Fatal("edit after Close succeeded")
+	}
+
+	// Recover without a seed: the directory is the source of truth.
+	r := openForTest(t, dir, nil)
+	defer r.Close()
+	st := r.Status()
+	if !st.SeededFromSnapshot {
+		t.Error("recovery did not seed from the snapshot's relations")
+	}
+	if st.ReplayedRecords != 4 {
+		t.Errorf("replayed %d records, want 4", st.ReplayedRecords)
+	}
+	if st.Corruption != "" {
+		t.Errorf("clean log reported corruption: %s", st.Corruption)
+	}
+	if st.RecoveryNs <= 0 {
+		t.Errorf("recovery_ns = %d, want > 0", st.RecoveryNs)
+	}
+	gotPairs, gotPcts := statePairs(t, r.Tracked())
+	if !reflect.DeepEqual(gotPairs, wantPairs) {
+		t.Fatal("recovered relations differ from pre-crash state")
+	}
+	// Percent matrices round-trip bit-exactly through the snapshot; the
+	// internal tile areas are reconstructed from them, so compare the
+	// served values, not the raw cell structs.
+	if len(gotPcts) != len(wantPcts) {
+		t.Fatalf("pct pair count differs: %d vs %d", len(gotPcts), len(wantPcts))
+	}
+	for i := range gotPcts {
+		if gotPcts[i].Primary != wantPcts[i].Primary ||
+			gotPcts[i].Reference != wantPcts[i].Reference ||
+			gotPcts[i].Matrix != wantPcts[i].Matrix {
+			t.Fatalf("pct pair %d differs: %+v vs %+v", i, gotPcts[i], wantPcts[i])
+		}
+	}
+
+	// A seed given alongside an initialised directory is ignored.
+	r2 := openForTest(t, t.TempDir(), buildImage(t, regions[:2]))
+	r2.Close()
+	r3 := openForTest(t, dir, buildImage(t, regions[:2]))
+	defer r3.Close()
+	if got := r3.Tracked().Store().Len(); got != len(wantPairsRegions(wantPairs)) {
+		t.Errorf("seed overrode durable state: %d regions", got)
+	}
+}
+
+// wantPairsRegions derives the region set size from an all-pairs list.
+func wantPairsRegions(pairs []core.PairRelation) map[string]bool {
+	set := make(map[string]bool)
+	for _, p := range pairs {
+		set[p.Primary] = true
+		set[p.Reference] = true
+	}
+	return set
+}
+
+// TestSnapshotRotation checks Snapshot advances the generation, truncates
+// the log, retires the previous generation's files, and that recovery from
+// the rotated state replays nothing.
+func TestSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	gen := workload.New(11)
+	s := openForTest(t, dir, buildImage(t, gen.Scatter(6, 8)))
+	if err := s.AddRegion("extra", "Extra", "", gen.Scatter(1, 8)[0]); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 2 || info.Regions != 7 || info.Bytes <= 0 {
+		t.Fatalf("unexpected snapshot info: %+v", info)
+	}
+	wantPairs, _ := statePairs(t, s.Tracked())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 || names[0] != "snapshot-00000002.xml" || names[1] != "wal-00000002.log" {
+		t.Fatalf("directory after rotation: %v", names)
+	}
+
+	r := openForTest(t, dir, nil)
+	defer r.Close()
+	st := r.Status()
+	if st.Seq != 2 || st.ReplayedRecords != 0 || !st.SeededFromSnapshot {
+		t.Fatalf("recovery after rotation: %+v", st)
+	}
+	gotPairs, _ := statePairs(t, r.Tracked())
+	if !reflect.DeepEqual(gotPairs, wantPairs) {
+		t.Fatal("state diverged across rotation + recovery")
+	}
+}
+
+// TestRecoveryDiscardsTornTail truncates and bit-flips the live log; in
+// every case recovery must succeed with a prefix of the edits and report
+// the corruption, never fail.
+func TestRecoveryDiscardsTornTail(t *testing.T) {
+	gen := workload.New(13)
+	base := gen.Scatter(5, 8)
+	adds := gen.Scatter(4, 8)
+
+	build := func(t *testing.T) (string, []byte) {
+		dir := t.TempDir()
+		s := openForTest(t, dir, buildImage(t, base))
+		for i, g := range adds {
+			if err := s.AddRegion(fmt.Sprintf("add%d", i), "A", "", g); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		logPath := filepath.Join(dir, "wal-00000001.log")
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, data
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		dir, data := build(t)
+		logPath := filepath.Join(dir, "wal-00000001.log")
+		if err := os.WriteFile(logPath, data[:len(data)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := openForTest(t, dir, nil)
+		defer r.Close()
+		st := r.Status()
+		if st.Corruption == "" {
+			t.Error("torn tail not reported")
+		}
+		if st.ReplayedRecords != len(adds)-1 {
+			t.Errorf("replayed %d, want %d", st.ReplayedRecords, len(adds)-1)
+		}
+		// The truncated log must be appendable again after recovery.
+		if err := r.AddRegion("post", "P", "", adds[0]); err != nil {
+			t.Fatalf("append after torn-tail recovery: %v", err)
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		dir, data := build(t)
+		logPath := filepath.Join(dir, "wal-00000001.log")
+		flipped := bytes.Clone(data)
+		flipped[len(flipped)-5] ^= 0x10
+		if err := os.WriteFile(logPath, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := openForTest(t, dir, nil)
+		defer r.Close()
+		st := r.Status()
+		if st.Corruption == "" {
+			t.Error("bit flip not reported")
+		}
+		if st.ReplayedRecords >= len(adds) {
+			t.Errorf("replayed %d records from a damaged log of %d", st.ReplayedRecords, len(adds))
+		}
+	})
+}
+
+// TestRecoverySkipsUnreadableSnapshot plants a garbage higher-seq snapshot;
+// recovery must fall back to the intact generation, then clean up.
+func TestRecoverySkipsUnreadableSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	gen := workload.New(17)
+	s := openForTest(t, dir, buildImage(t, gen.Scatter(5, 8)))
+	wantPairs, _ := statePairs(t, s.Tracked())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A rotation that crashed after renaming the snapshot but before
+	// anything else: half-written XML at a higher generation.
+	bad := filepath.Join(dir, "snapshot-00000002.xml")
+	if err := os.WriteFile(bad, []byte("<Image name=\"x\""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "snapshot-12345.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openForTest(t, dir, nil)
+	defer r.Close()
+	if got := r.Status().Seq; got != 1 {
+		t.Fatalf("recovered generation %d, want fallback to 1", got)
+	}
+	gotPairs, _ := statePairs(t, r.Tracked())
+	if !reflect.DeepEqual(gotPairs, wantPairs) {
+		t.Fatal("fallback recovery lost state")
+	}
+	for _, stale := range []string{bad, tmp} {
+		if _, err := os.Stat(stale); !os.IsNotExist(err) {
+			t.Errorf("stale file survived recovery: %s", stale)
+		}
+	}
+}
+
+// TestOpenErrors covers the refusal cases: no snapshot and no seed, and a
+// directory whose only snapshot is unreadable.
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(t.TempDir(), nil, Options{}); err == nil {
+		t.Error("Open of an empty dir without a seed succeeded")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-00000001.xml"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil, Options{}); err == nil {
+		t.Error("Open with only an unreadable snapshot succeeded")
+	}
+}
+
+// TestSnapshotRefusesEmptyWorld: the DTD requires at least one region, so
+// snapshotting an emptied configuration must fail cleanly.
+func TestSnapshotRefusesEmptyWorld(t *testing.T) {
+	gen := workload.New(19)
+	s := openForTest(t, t.TempDir(), buildImage(t, gen.Scatter(1, 8)))
+	defer s.Close()
+	if err := s.RemoveRegion("r000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot of an empty configuration succeeded")
+	}
+}
+
+// TestSeededRecoveryBeatsRecompute is the acceptance benchmark of the
+// persistence subsystem: recovering a 500-region world from snapshot +
+// short WAL tail must be measurably faster than loading the same XML and
+// recomputing all pairs from scratch, because the snapshot carries the
+// materialised relations. Cluster geometry defeats the MBB fast paths, so
+// the recompute is honest work.
+func TestSeededRecoveryBeatsRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf comparison skipped in -short")
+	}
+	const n = 500
+	gen := workload.New(23)
+	// One dense cluster of many-edged polygons: the MBB fast paths prune
+	// almost nothing, so the all-pairs recompute does real
+	// polygon-clipping work on every one of the ~250k pairs.
+	regions := gen.Cluster(n, 1, 96)
+	edits := gen.Scatter(10, 12)
+
+	dir := t.TempDir()
+	s, err := Open(dir, buildImage(t, regions), Options{Pct: true, Sync: wal.Options{Policy: wal.SyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range edits {
+		if err := s.AddRegion(fmt.Sprintf("edit%03d", i), "E", "", g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapBytes, err := os.ReadFile(filepath.Join(dir, "snapshot-00000001.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded path: what Open does — XML load, seeded store, WAL replay.
+	start := time.Now()
+	r, err := Open(dir, nil, Options{Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seededElapsed := time.Since(start)
+	defer r.Close()
+	st := r.Status()
+	if !st.SeededFromSnapshot {
+		t.Fatal("500-region recovery did not take the seeded path")
+	}
+	if st.ReplayedRecords != len(edits) {
+		t.Fatalf("replayed %d records, want %d", st.ReplayedRecords, len(edits))
+	}
+	if st.RecoveryNs <= 0 {
+		t.Fatal("recovery_ns not reported")
+	}
+
+	// Recompute path: same XML bytes, full all-pairs computation.
+	start = time.Now()
+	img, err := config.Parse(snapBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := config.Track(img, core.StoreOptions{Pct: true}); err != nil {
+		t.Fatal(err)
+	}
+	recomputeElapsed := time.Since(start)
+
+	t.Logf("seeded recovery %v (replayed %d edits) vs full recompute %v",
+		seededElapsed, st.ReplayedRecords, recomputeElapsed)
+	if seededElapsed >= recomputeElapsed {
+		t.Errorf("seeded recovery (%v) not faster than full recompute (%v)", seededElapsed, recomputeElapsed)
+	}
+
+	// And it is not just faster — it is the same answer. Rotate so the
+	// recovered state (snapshot + replayed edits) lands in one document,
+	// and recompute that from scratch.
+	info, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalBytes, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalImg, err := config.Parse(finalBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trFinal, err := config.Track(finalImg, core.StoreOptions{Pct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := trFinal.Store().Pairs()
+	seeded := r.Tracked().Store().Pairs()
+	if len(full) != len(seeded) {
+		t.Fatalf("pair count differs: %d vs %d", len(full), len(seeded))
+	}
+	for i := range full {
+		if full[i] != seeded[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, full[i], seeded[i])
+		}
+	}
+}

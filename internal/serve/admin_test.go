@@ -1,0 +1,99 @@
+package serve_test
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cardirect/internal/config"
+	"cardirect/internal/persist"
+	"cardirect/internal/serve"
+	"cardirect/internal/wal"
+)
+
+// newDurableServer boots an httptest server over a persist.Store seeded
+// with the Greece fixture.
+func newDurableServer(t *testing.T) (*httptest.Server, *persist.Store) {
+	t.Helper()
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ps, err := persist.Open(t.TempDir(), config.Greece(), persist.Options{
+		Pct: true, Logger: logger, Sync: wal.Options{Policy: wal.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(ps.Tracked(), serve.Options{Logger: logger, Persist: ps})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ps.Close()
+		ps.Tracked().Close()
+	})
+	return ts, ps
+}
+
+// TestAdminDisabled: without -data the admin endpoints answer 404.
+func TestAdminDisabled(t *testing.T) {
+	ts, _ := newGreeceServer(t, serve.Options{})
+	if got := doJSON(t, "GET", ts.URL+"/api/admin/status", nil, nil); got != http.StatusNotFound {
+		t.Errorf("GET /api/admin/status without persistence: %d, want 404", got)
+	}
+	if got := doJSON(t, "POST", ts.URL+"/api/admin/snapshot", nil, nil); got != http.StatusNotFound {
+		t.Errorf("POST /api/admin/snapshot without persistence: %d, want 404", got)
+	}
+}
+
+// TestAdminStatusAndSnapshot exercises the durable shape: edits through
+// the HTTP surface land in the WAL, status reports them, snapshot rotates
+// the generation and resets the tail.
+func TestAdminStatusAndSnapshot(t *testing.T) {
+	ts, _ := newDurableServer(t)
+
+	var st persist.Status
+	if got := doJSON(t, "GET", ts.URL+"/api/admin/status", nil, &st); got != http.StatusOK {
+		t.Fatalf("GET /api/admin/status: %d", got)
+	}
+	if st.Seq != 1 || st.WAL.Records != 0 || st.Err != "" {
+		t.Fatalf("fresh status: %+v", st)
+	}
+
+	add := map[string]any{"id": "box", "wkt": "POLYGON ((300 300, 340 300, 340 340, 300 340, 300 300))"}
+	if got := doJSON(t, "POST", ts.URL+"/api/regions", add, nil); got != http.StatusCreated {
+		t.Fatalf("POST /api/regions: %d", got)
+	}
+	if doJSON(t, "GET", ts.URL+"/api/admin/status", nil, &st); st.WAL.Records != 1 {
+		t.Fatalf("edit not write-ahead logged: %+v", st)
+	}
+
+	var info persist.SnapshotInfo
+	if got := doJSON(t, "POST", ts.URL+"/api/admin/snapshot", nil, &info); got != http.StatusOK {
+		t.Fatalf("POST /api/admin/snapshot: %d", got)
+	}
+	if info.Seq != 2 || info.Bytes <= 0 {
+		t.Fatalf("snapshot info: %+v", info)
+	}
+	if doJSON(t, "GET", ts.URL+"/api/admin/status", nil, &st); st.Seq != 2 {
+		t.Fatalf("status after rotation: %+v", st)
+	}
+
+	// The pre-rotation record stays in the cumulative WAL counters.
+	if st.WAL.Records != 1 {
+		t.Errorf("cumulative wal records = %d, want 1", st.WAL.Records)
+	}
+}
+
+// TestAdminSnapshotEmptyWorld: deleting every region leaves nothing the
+// DTD can express; the snapshot endpoint must answer 422, not 500.
+func TestAdminSnapshotEmptyWorld(t *testing.T) {
+	ts, ps := newDurableServer(t)
+	for _, r := range ps.Tracked().Store().Names() {
+		if got := doJSON(t, "DELETE", ts.URL+"/api/regions/"+r, nil, nil); got != http.StatusNoContent {
+			t.Fatalf("DELETE %s: %d", r, got)
+		}
+	}
+	if got := doJSON(t, "POST", ts.URL+"/api/admin/snapshot", nil, nil); got != http.StatusUnprocessableEntity {
+		t.Errorf("snapshot of empty world: %d, want 422", got)
+	}
+}

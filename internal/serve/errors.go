@@ -9,6 +9,7 @@ import (
 
 	"cardirect/internal/config"
 	"cardirect/internal/core"
+	"cardirect/internal/persist"
 )
 
 // statusClientClosed is nginx's non-standard 499 "client closed request":
@@ -45,6 +46,8 @@ func statusOf(err error) int {
 	case errors.Is(err, config.ErrDuplicateRegion):
 		return http.StatusConflict
 	case errors.Is(err, core.ErrDegenerateRegion):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, persist.ErrEmptyWorld):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -121,6 +121,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 	if err := s.tr.Err(); err != nil {
 		return failf(http.StatusInternalServerError, "serve: tracking diverged: %v", err)
 	}
+	if p := s.opt.Persist; p != nil {
+		if st := p.Status(); st.Err != "" {
+			return failf(http.StatusInternalServerError, "serve: persistence failed: %s", st.Err)
+		}
+	}
 	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Regions: s.tr.Store().Len()})
 }
 
@@ -191,7 +196,7 @@ func (s *Server) handleRegionAdd(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if err := s.tr.AddRegion(req.ID, req.Name, req.Color, g); err != nil {
+	if err := s.edit.AddRegion(req.ID, req.Name, req.Color, g); err != nil {
 		return err
 	}
 	return s.respondRegion(w, http.StatusCreated, req.ID)
@@ -207,7 +212,7 @@ func (s *Server) handleRegionSet(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if err := s.tr.SetRegionGeometry(id, g); err != nil {
+	if err := s.edit.SetRegionGeometry(id, g); err != nil {
 		return err
 	}
 	return s.respondRegion(w, http.StatusOK, id)
@@ -226,14 +231,14 @@ func (s *Server) handleRegionRename(w http.ResponseWriter, r *http.Request) erro
 	if req.NewID == "" {
 		return failf(http.StatusBadRequest, "serve: missing new_id")
 	}
-	if err := s.tr.RenameRegion(id, req.NewID); err != nil {
+	if err := s.edit.RenameRegion(id, req.NewID); err != nil {
 		return err
 	}
 	return s.respondRegion(w, http.StatusOK, req.NewID)
 }
 
 func (s *Server) handleRegionDelete(w http.ResponseWriter, r *http.Request) error {
-	if err := s.tr.RemoveRegion(r.PathValue("id")); err != nil {
+	if err := s.edit.RemoveRegion(r.PathValue("id")); err != nil {
 		return err
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -495,6 +500,30 @@ type statsResponse struct {
 	Regions int        `json:"regions"`
 	Indexed int        `json:"indexed"`
 	Store   core.Stats `json:"store"`
+}
+
+// handleAdminSnapshot rotates the durable store: write the next snapshot
+// generation (materialised relations included) and truncate the WAL. 404
+// when the server runs without persistence.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) error {
+	p := s.opt.Persist
+	if p == nil {
+		return failf(http.StatusNotFound, "serve: persistence not enabled (start with -data)")
+	}
+	info, err := p.Snapshot()
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, info)
+}
+
+// handleAdminStatus reports the durability counters of the store.
+func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) error {
+	p := s.opt.Persist
+	if p == nil {
+		return failf(http.StatusNotFound, "serve: persistence not enabled (start with -data)")
+	}
+	return writeJSON(w, http.StatusOK, p.Status())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {

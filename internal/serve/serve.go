@@ -24,7 +24,20 @@ import (
 	"time"
 
 	"cardirect/internal/config"
+	"cardirect/internal/geom"
+	"cardirect/internal/persist"
 )
+
+// Editor is the mutation surface the region edit endpoints write through.
+// A bare config.Tracked satisfies it (in-memory service); a persist.Store
+// satisfies it too, write-ahead logging every edit before it is
+// acknowledged (durable service).
+type Editor interface {
+	AddRegion(id, name, color string, g geom.Region) error
+	RemoveRegion(id string) error
+	RenameRegion(oldID, newID string) error
+	SetRegionGeometry(id string, g geom.Region) error
+}
 
 // Options configures a Server.
 type Options struct {
@@ -39,14 +52,21 @@ type Options struct {
 	Workers int
 	// Logger receives structured access logs; nil means slog.Default().
 	Logger *slog.Logger
+	// Persist, when set, makes the server durable: region edits are routed
+	// through the store (write-ahead logged before acknowledgement) and
+	// the /api/admin/* endpoints operate on it. The store's Tracked() must
+	// be the same tr handed to New. Nil serves the in-memory shape and the
+	// admin endpoints answer 404.
+	Persist *persist.Store
 }
 
 // Server serves the cardirectd API over one tracked configuration.
 type Server struct {
-	tr  *config.Tracked
-	opt Options
-	log *slog.Logger
-	mux *http.ServeMux
+	tr   *config.Tracked
+	edit Editor
+	opt  Options
+	log  *slog.Logger
+	mux  *http.ServeMux
 }
 
 // metrics is the process-wide expvar surface, published under "cardirectd":
@@ -64,7 +84,10 @@ func New(tr *config.Tracked, opt Options) *Server {
 	if opt.Logger == nil {
 		opt.Logger = slog.Default()
 	}
-	s := &Server{tr: tr, opt: opt, log: opt.Logger, mux: http.NewServeMux()}
+	s := &Server{tr: tr, edit: tr, opt: opt, log: opt.Logger, mux: http.NewServeMux()}
+	if opt.Persist != nil {
+		s.edit = opt.Persist
+	}
 	s.routes()
 	// The expvar namespace is process-global; with several servers (tests)
 	// the last one wins, which matches the one-server production shape.
@@ -74,6 +97,21 @@ func New(tr *config.Tracked, opt Options) *Server {
 			"stats":   tr.Store().Stats(),
 		}
 	}))
+	if p := opt.Persist; p != nil {
+		metrics.Set("persist", expvar.Func(func() any {
+			st := p.Status()
+			return map[string]any{
+				"seq":              st.Seq,
+				"wal_records":      st.WAL.Records,
+				"wal_bytes":        st.WAL.Bytes,
+				"wal_fsyncs":       st.WAL.Fsyncs,
+				"recovery_ns":      st.RecoveryNs,
+				"replayed_records": st.ReplayedRecords,
+				"skipped_records":  st.SkippedRecords,
+				"seeded":           st.SeededFromSnapshot,
+			}
+		}))
+	}
 	return s
 }
 
@@ -95,6 +133,8 @@ func (s *Server) routes() {
 	s.handle("GET /api/select", "select", s.handleSelect)
 	s.handle("POST /api/query", "query", s.handleQuery)
 	s.handle("GET /api/stats", "stats", s.handleStats)
+	s.handle("POST /api/admin/snapshot", "admin.snapshot", s.handleAdminSnapshot)
+	s.handle("GET /api/admin/status", "admin.status", s.handleAdminStatus)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

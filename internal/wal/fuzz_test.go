@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the log reader: it must never
+// panic, never report a valid prefix longer than the input, and — when the
+// input is a log image the writer produced — decode exactly the records
+// that were written (checked by re-encoding every decoded record).
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a real log image and mutations of it.
+	var img bytes.Buffer
+	img.WriteString(Magic)
+	for _, rec := range sampleRecords() {
+		payload := appendRecord(nil, rec)
+		var frame [frameSize]byte
+		frameLen(frame[:], payload)
+		img.Write(frame[:])
+		img.Write(payload)
+	}
+	full := img.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Add([]byte("CDWAL001\x05\x00\x00\x00\xde\xad\xbe\xef\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, corr := Replay(data)
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("validSize %d out of range [0, %d]", valid, len(data))
+		}
+		if corr != nil && (corr.Offset < 0 || corr.Offset > int64(len(data))) {
+			t.Fatalf("corruption offset %d out of range", corr.Offset)
+		}
+		// Round-trip: re-encoding the decoded records must reproduce the
+		// valid prefix byte for byte — the reader accepts nothing the
+		// writer would not have produced... except non-canonical uvarints,
+		// so compare through a decode of the re-encoding instead.
+		var re bytes.Buffer
+		re.WriteString(Magic)
+		for _, rec := range recs {
+			payload := appendRecord(nil, rec)
+			var frame [frameSize]byte
+			frameLen(frame[:], payload)
+			re.Write(frame[:])
+			re.Write(payload)
+		}
+		recs2, _, corr2 := Replay(re.Bytes())
+		if corr2 != nil {
+			t.Fatalf("re-encoded log corrupt: %v", corr2)
+		}
+		if !reflect.DeepEqual(recs, recs2) {
+			t.Fatalf("re-encode round-trip mismatch: %d vs %d records", len(recs), len(recs2))
+		}
+	})
+}
