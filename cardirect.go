@@ -283,6 +283,11 @@ type (
 	// BatchPctResult is the output of BatchPct: sorted percent matrices
 	// plus aggregated instrumentation.
 	BatchPctResult = core.BatchPctResult
+	// Arena is a bump allocator backing Prepared construction: one large
+	// slab per world instead of per-region allocations. An Arena is never
+	// freed piecemeal; drop the whole arena (and every Prepared carved
+	// from it) together.
+	Arena = core.Arena
 	// RelationStore holds prepared regions plus cached all-pairs relation
 	// (and optionally percent) results, recomputing only the touched row
 	// and column on each region edit.
@@ -309,8 +314,14 @@ var (
 	BatchPct = core.BatchPct
 	// Prepare preprocesses one region for repeated Relate calls.
 	Prepare = core.Prepare
-	// PrepareAll preprocesses a named batch, validating names.
+	// PrepareAll preprocesses a named batch, validating names. The batch
+	// shares one arena internally; see PrepareAllIn to supply it.
 	PrepareAll = core.PrepareAll
+	// PrepareAllIn is PrepareAll drawing backing storage from an explicit
+	// arena (nil falls back to per-region allocations).
+	PrepareAllIn = core.PrepareAllIn
+	// NewArena creates an empty arena for PrepareAllIn.
+	NewArena = core.NewArena
 	// Relate computes the relation between two prepared regions.
 	Relate = core.Relate
 	// RelatePct computes the relation with percentages between two prepared

@@ -68,22 +68,24 @@ func TestJSONFlagWritesMetrics(t *testing.T) {
 		Title:   "fixture",
 		Metrics: map[string]float64{"ns_per_op": 12.5, "allocs_per_op": 0},
 	}
-	if err := writeBenchJSON(r); err != nil {
+	if err := writeBenchJSON(r, true); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile("BENCH_E99-test.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var got struct {
-		ID      string             `json:"id"`
-		Metrics map[string]float64 `json:"metrics"`
-	}
+	var got benchFile
 	if err := json.Unmarshal(data, &got); err != nil {
 		t.Fatalf("invalid JSON: %v\n%s", err, data)
 	}
 	if got.ID != "E99-test" || got.Metrics["ns_per_op"] != 12.5 {
 		t.Errorf("roundtrip mismatch: %+v", got)
+	}
+	// The run environment is stamped alongside the metrics.
+	if !got.Quick || got.GoVersion == "" || got.GOMAXPROCS < 1 ||
+		got.GOOS == "" || got.GOARCH == "" || got.Revision == "" {
+		t.Errorf("environment stamp incomplete: %+v", got)
 	}
 
 	// A metrics-free experiment with -json writes no file.
@@ -99,5 +101,47 @@ func TestJSONFlagWritesMetrics(t *testing.T) {
 		if e.Name() != "BENCH_E99-test.json" {
 			t.Errorf("unexpected file %q", e.Name())
 		}
+	}
+}
+
+// TestCompareMetrics covers the regression gate's classification rules:
+// timing keys fail upward, speedup keys fail downward, both pass within
+// the threshold, vanished metrics are flagged, and quick/full baselines
+// cannot be compared across modes.
+func TestCompareMetrics(t *testing.T) {
+	base := &benchFile{
+		ID: "E21", Quick: true, Revision: "abc",
+		Metrics: map[string]float64{
+			"batch_pct_ms":       10,
+			"pct_kernel_speedup": 2.0,
+			"n":                  500, // unitless: informational only
+		},
+	}
+	report := func(ms, speedup float64) experiments.Report {
+		return experiments.Report{ID: "E21", Metrics: map[string]float64{
+			"batch_pct_ms": ms, "pct_kernel_speedup": speedup, "n": 9999,
+		}}
+	}
+	var out bytes.Buffer
+
+	got, err := compareMetrics(&out, report(11, 1.9), base, true, 0.15)
+	if err != nil || len(got) != 0 {
+		t.Errorf("within-threshold run flagged: %v, %v", got, err)
+	}
+	got, err = compareMetrics(&out, report(12, 2.0), base, true, 0.15)
+	if err != nil || len(got) != 1 || !strings.Contains(got[0], "batch_pct_ms") {
+		t.Errorf("timing regression not caught: %v, %v", got, err)
+	}
+	got, err = compareMetrics(&out, report(10, 1.5), base, true, 0.15)
+	if err != nil || len(got) != 1 || !strings.Contains(got[0], "pct_kernel_speedup") {
+		t.Errorf("speedup regression not caught: %v, %v", got, err)
+	}
+	if _, err := compareMetrics(&out, report(10, 2), base, false, 0.15); err == nil {
+		t.Error("quick baseline compared against full run without error")
+	}
+	missing := experiments.Report{ID: "E21", Metrics: map[string]float64{"batch_pct_ms": 10}}
+	got, err = compareMetrics(&out, missing, base, true, 0.15)
+	if err != nil || len(got) != 1 || !strings.Contains(got[0], "disappeared") {
+		t.Errorf("vanished metric not flagged: %v, %v", got, err)
 	}
 }

@@ -33,6 +33,11 @@ type BatchOptions struct {
 	// NoPrune disables the MBB tile-pruning fast path, forcing full
 	// edge-splitting for every pair. Used by benchmarks and ablations.
 	NoPrune bool
+	// NoSoA routes the full kernels through the per-edge reference
+	// implementation instead of the struct-of-arrays kernels. Used by
+	// differential tests and benchmark ablations; results are bit-identical
+	// either way.
+	NoSoA bool
 	// Prepared, when non-nil, supplies already-prepared regions: the engine
 	// skips preparation and ignores the regions argument, letting callers
 	// that hold Prepared values (indexes, configuration stores) pay the
@@ -138,7 +143,7 @@ func batchPrepared(ctx context.Context, ps []*Prepared, opt BatchOptions) ([]Pai
 					continue
 				}
 				b := order[ri]
-				rel := a.relate(b.grid, b.center, opt.NoPrune, sc, &st)
+				rel := a.relate(b.grid, b.center, opt.NoPrune, opt.NoSoA, sc, &st)
 				st.Passes++
 				row[k] = PairRelation{Primary: a.Name, Reference: b.Name, Relation: rel}
 				k++
@@ -258,7 +263,7 @@ func findRelated(ctx context.Context, candidates []NamedRegion, reference geom.R
 				errs[i] = err
 				continue
 			}
-			matched[i] = allowed.Contains(p.relate(grid, center, false, sc, nil))
+			matched[i] = allowed.Contains(p.relate(grid, center, false, false, sc, nil))
 		}
 	})
 	if err := ctx.Err(); err != nil {

@@ -124,7 +124,7 @@ func batchPctPrepared(ctx context.Context, ps []*Prepared, opt BatchOptions) ([]
 				// straight into the output slice instead of copying 72-byte
 				// values through return paths.
 				slot := &row[k]
-				total, err := a.relatePctAreasInto(&slot.Areas, b.grid, opt.NoPrune, sc, &st)
+				total, err := a.relatePctAreasInto(&slot.Areas, b.grid, opt.NoPrune, opt.NoSoA, sc, &st)
 				if err != nil {
 					errs[pi] = err
 					break

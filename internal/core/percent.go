@@ -133,7 +133,7 @@ func RelatePct(a, b *Prepared, sc *Scratch) (PercentMatrix, TileAreas, error) {
 		sc = getScratch()
 		defer putScratch(sc)
 	}
-	return a.relatePct(b.grid, false, sc, nil)
+	return a.relatePct(b.grid, false, false, sc, nil)
 }
 
 // RelatePctGrid computes the percent matrix of the primary region against an
@@ -143,14 +143,14 @@ func (p *Prepared) RelatePctGrid(g Grid, sc *Scratch) (PercentMatrix, TileAreas,
 		sc = getScratch()
 		defer putScratch(sc)
 	}
-	return p.relatePct(g, false, sc, nil)
+	return p.relatePct(g, false, false, sc, nil)
 }
 
 // relatePct dispatches between the cached-area fast path and the full
 // edge-splitting quantitative algorithm.
-func (p *Prepared) relatePct(g Grid, noPrune bool, sc *Scratch, st *Stats) (PercentMatrix, TileAreas, error) {
+func (p *Prepared) relatePct(g Grid, noPrune, ref bool, sc *Scratch, st *Stats) (PercentMatrix, TileAreas, error) {
 	var areas TileAreas
-	total, err := p.relatePctAreasInto(&areas, g, noPrune, sc, st)
+	total, err := p.relatePctAreasInto(&areas, g, noPrune, ref, sc, st)
 	if err != nil {
 		return PercentMatrix{}, areas, err
 	}
@@ -163,8 +163,9 @@ func (p *Prepared) relatePct(g Grid, noPrune bool, sc *Scratch, st *Stats) (Perc
 // total — the batch engine's entry point, writing straight into the output
 // slot instead of copying 72-byte values through three return frames. The
 // O(1) single-tile case is checked here, one call deep, because it answers
-// over 90% of scatter-batch pairs.
-func (p *Prepared) relatePctAreasInto(dst *TileAreas, g Grid, noPrune bool, sc *Scratch, st *Stats) (float64, error) {
+// over 90% of scatter-batch pairs. ref selects the per-edge reference
+// kernel instead of the SoA kernel (differential tests, ablations).
+func (p *Prepared) relatePctAreasInto(dst *TileAreas, g Grid, noPrune, ref bool, sc *Scratch, st *Stats) (float64, error) {
 	if !noPrune && p.totalArea > 0 {
 		if col, row := strictCol(p.Box, g), strictRow(p.Box, g); col >= 0 && row >= 0 {
 			*dst = TileAreas{}
@@ -177,6 +178,9 @@ func (p *Prepared) relatePctAreasInto(dst *TileAreas, g Grid, noPrune bool, sc *
 		if p.relatePctPolyInto(dst, g, st) {
 			return p.totalArea, nil
 		}
+	}
+	if ref {
+		return p.relatePctFullIntoRef(dst, g, sc, st)
 	}
 	return p.relatePctFullInto(dst, g, sc, st)
 }
@@ -250,18 +254,21 @@ func (p *Prepared) relatePctPolyInto(dst *TileAreas, g Grid, st *Stats) bool {
 	return true
 }
 
-// relatePctFullInto is the paper's Compute-CDR% over the flattened edge
-// slice, with the split buffer and the per-tile accumulators living in the
-// caller's Scratch so the steady path allocates nothing. It writes the
-// per-tile areas into dst and returns their total.
-func (p *Prepared) relatePctFullInto(dst *TileAreas, g Grid, sc *Scratch, st *Stats) (float64, error) {
+// relatePctFullIntoRef is the per-edge reference implementation of
+// Compute-CDR% over Prepared edges: materialise each edge, split it with
+// Grid.SplitEdge, classify and accumulate every sub-segment through the
+// Scratch accumulator array. It computes bit-identical results to the SoA
+// kernel in relatePctFullInto (asserted by TestSoAKernelDifferential) and
+// exists for that comparison — and as the BatchOptions.NoSoA ablation
+// baseline. Do not use on hot paths.
+func (p *Prepared) relatePctFullIntoRef(dst *TileAreas, g Grid, sc *Scratch, st *Stats) (float64, error) {
 	for i := range sc.acc {
 		sc.acc[i] = 0
 	}
 	sc.accBN = 0
 	buf := sc.buf
-	for _, e := range p.edges {
-		buf = g.SplitEdge(e, buf[:0])
+	for i := 0; i < len(p.ax); i++ {
+		buf = g.SplitEdge(p.edge(i), buf[:0])
 		if st != nil {
 			st.EdgesIn++
 			st.EdgeVisits++
@@ -297,6 +304,120 @@ func (p *Prepared) relatePctFullInto(dst *TileAreas, g Grid, sc *Scratch, st *St
 	if bArea := abs(sc.accBN) - dst[TileN]; bArea > 0 {
 		dst[TileB] = bArea
 	}
+	return p.pctTotal(dst)
+}
+
+// relatePctFullInto is the paper's Compute-CDR% over the struct-of-arrays
+// edge layout: one pass over the flat coordinate slices, accumulating the
+// trapezoid expressions into nine locals the compiler keeps in registers.
+// An edge is split only when its coordinate span actually straddles a grid
+// line (four compares, no divisions); the no-split majority accumulates
+// straight from the raw coordinates with no Segment materialisation and no
+// buffer traffic. Accumulation order per tile matches the reference kernel
+// exactly, so results are bit-identical. It writes the per-tile areas into
+// dst and returns their total.
+func (p *Prepared) relatePctFullInto(dst *TileAreas, g Grid, sc *Scratch, st *Stats) (float64, error) {
+	m1, m2, l1, l2 := g.M1, g.M2, g.L1, g.L2
+	ax, ay, bx, by := p.ax, p.ay, p.bx, p.by
+	var accS, accSW, accW, accNW, accN, accNE, accE, accSE, accBN float64
+	var qx, qy [6]float64
+	outCount := 0
+	for i := range ax {
+		x0, y0, x1, y1 := ax[i], ay[i], bx[i], by[i]
+		lox, hix := x0, x1
+		if lox > hix {
+			lox, hix = hix, lox
+		}
+		loy, hiy := y0, y1
+		if loy > hiy {
+			loy, hiy = hiy, loy
+		}
+		// Same no-crossing span test as relateFull: a grid line is crossed
+		// iff it lies strictly between the endpoint coordinates. An edge
+		// that crosses nothing accumulates straight from the raw
+		// coordinates, never touching memory; one that does is split by
+		// splitEdgeInto and its pieces fed through the same switch.
+		if (hix <= m1 || lox >= m1) && (hix <= m2 || lox >= m2) &&
+			(hiy <= l1 || loy >= l1) && (hiy <= l2 || loy >= l2) {
+			outCount++
+			switch tileGrid[classifyRow(l1, l2, (y0+y1)/2, x1-x0)][classifyCol(m1, m2, (x0+x1)/2, y1-y0)] {
+			case TileNW:
+				accNW += (y1 - y0) * (x0 + x1 - 2*m1) / 2
+			case TileW:
+				accW += (y1 - y0) * (x0 + x1 - 2*m1) / 2
+			case TileSW:
+				accSW += (y1 - y0) * (x0 + x1 - 2*m1) / 2
+			case TileNE:
+				accNE += (y1 - y0) * (x0 + x1 - 2*m2) / 2
+			case TileE:
+				accE += (y1 - y0) * (x0 + x1 - 2*m2) / 2
+			case TileSE:
+				accSE += (y1 - y0) * (x0 + x1 - 2*m2) / 2
+			case TileS:
+				accS += (x1 - x0) * (y0 + y1 - 2*l1) / 2
+			case TileN:
+				accN += (x1 - x0) * (y0 + y1 - 2*l2) / 2
+				accBN += (x1 - x0) * (y0 + y1 - 2*l1) / 2
+			case TileB:
+				accBN += (x1 - x0) * (y0 + y1 - 2*l1) / 2
+			}
+			continue
+		}
+		cnt := splitEdgeInto(m1, m2, l1, l2, x0, y0, x1, y1, &qx, &qy)
+		outCount += cnt
+		for k := 0; k < cnt; k++ {
+			sx0, sy0, sx1, sy1 := qx[k], qy[k], qx[k+1], qy[k+1]
+			switch tileGrid[classifyRow(l1, l2, (sy0+sy1)/2, sx1-sx0)][classifyCol(m1, m2, (sx0+sx1)/2, sy1-sy0)] {
+			case TileNW:
+				accNW += (sy1 - sy0) * (sx0 + sx1 - 2*m1) / 2
+			case TileW:
+				accW += (sy1 - sy0) * (sx0 + sx1 - 2*m1) / 2
+			case TileSW:
+				accSW += (sy1 - sy0) * (sx0 + sx1 - 2*m1) / 2
+			case TileNE:
+				accNE += (sy1 - sy0) * (sx0 + sx1 - 2*m2) / 2
+			case TileE:
+				accE += (sy1 - sy0) * (sx0 + sx1 - 2*m2) / 2
+			case TileSE:
+				accSE += (sy1 - sy0) * (sx0 + sx1 - 2*m2) / 2
+			case TileS:
+				accS += (sx1 - sx0) * (sy0 + sy1 - 2*l1) / 2
+			case TileN:
+				accN += (sx1 - sx0) * (sy0 + sy1 - 2*l2) / 2
+				accBN += (sx1 - sx0) * (sy0 + sy1 - 2*l1) / 2
+			case TileB:
+				accBN += (sx1 - sx0) * (sy0 + sy1 - 2*l1) / 2
+			}
+		}
+	}
+	if st != nil {
+		st.EdgesIn += len(ax)
+		st.EdgeVisits += len(ax)
+		st.EdgesOut += outCount
+		st.Intersections += outCount - len(ax)
+	}
+
+	aS, aSW, aW, aNW := abs(accS), abs(accSW), abs(accW), abs(accNW)
+	aN, aNE, aE, aSE := abs(accN), abs(accNE), abs(accE), abs(accSE)
+	// area(B) = |area(B+N)| − |area(N)|; clamp tiny negative float residue.
+	var aB float64
+	if bArea := abs(accBN) - aN; bArea > 0 {
+		aB = bArea
+	}
+	dst[TileB], dst[TileS], dst[TileSW] = aB, aS, aSW
+	dst[TileW], dst[TileNW], dst[TileN] = aW, aNW, aN
+	dst[TileNE], dst[TileE], dst[TileSE] = aNE, aE, aSE
+	// Summed in tile index order, matching TileAreas.Total bit for bit.
+	total := aB + aS + aSW + aW + aNW + aN + aNE + aE + aSE
+	if total <= 0 {
+		return 0, fmt.Errorf("core: region %q has zero area: %w", p.Name, ErrDegenerateRegion)
+	}
+	return total, nil
+}
+
+// pctTotal finalises a full-kernel area computation: the shared tail of the
+// SoA and reference kernels.
+func (p *Prepared) pctTotal(dst *TileAreas) (float64, error) {
 	total := dst.Total()
 	if total <= 0 {
 		return 0, fmt.Errorf("core: region %q has zero area: %w", p.Name, ErrDegenerateRegion)

@@ -14,12 +14,13 @@ var ErrDegenerateRegion = errors.New("core: degenerate region")
 
 // Prepared is a region preprocessed once for repeated cardinal direction
 // computation. It holds everything Compute-CDR needs on either side of a
-// relation — the canonical clockwise orientation, the edges flattened into
-// one contiguous slice (cache locality for the split loop), per-polygon
-// bounding boxes (the MBB fast path), and the reference-side grid — so the
-// O(n²) all-pairs batch pays the per-region preprocessing exactly once per
-// region instead of once per pair. A Prepared value is immutable after
-// construction and safe to share across goroutines.
+// relation — the canonical clockwise orientation, the edges flattened into a
+// struct-of-arrays coordinate layout (four flat float64 slices the split and
+// trapezoid kernels stream through), per-polygon bounding boxes (the MBB
+// fast path), and the reference-side grid — so the O(n²) all-pairs batch
+// pays the per-region preprocessing exactly once per region instead of once
+// per pair. A Prepared value is immutable after construction and safe to
+// share across goroutines.
 type Prepared struct {
 	// Name identifies the region in batch results and error messages.
 	Name string
@@ -29,7 +30,18 @@ type Prepared struct {
 	// Box is mbb(Region).
 	Box geom.Rect
 
-	edges     []geom.Segment // every edge of every polygon, contiguous
+	// Struct-of-arrays edge layout: edge i runs from (ax[i], ay[i]) to
+	// (bx[i], by[i]), in polygon ring order. Splitting and trapezoid
+	// accumulation iterate these flat slices instead of a []geom.Segment,
+	// which keeps the hot loops in registers and lets one cache line carry
+	// eight coordinates of the same stream. The four slices are sub-slices
+	// of one backing block (see Arena), so a whole region's edges are one
+	// allocation, not k.
+	ax, ay, bx, by []float64
+	// polyOff delimits each polygon's edges: polygon k owns edge indices
+	// polyOff[k] up to polyOff[k+1]. len(polyOff) == len(polys)+1.
+	polyOff []int32
+
 	polys     []preparedPoly // per-polygon metadata, parallel to Region
 	grid      Grid           // tile grid when the region is a reference
 	gridErr   error          // non-nil when Box is degenerate (unusable as reference)
@@ -48,6 +60,12 @@ type preparedPoly struct {
 // with a wrapped ErrDegenerateRegion when the region has no polygons or no
 // edges — inputs for which Compute-CDR has no answer.
 func Prepare(name string, r geom.Region) (*Prepared, error) {
+	return prepareIn(nil, name, r)
+}
+
+// prepareIn is Prepare with the backing storage taken from ar; a nil arena
+// falls back to individual allocations.
+func prepareIn(ar *Arena, name string, r geom.Region) (*Prepared, error) {
 	if len(r) == 0 {
 		return nil, fmt.Errorf("core: region %q is empty: %w", name, ErrDegenerateRegion)
 	}
@@ -59,28 +77,47 @@ func Prepare(name string, r geom.Region) (*Prepared, error) {
 	p := &Prepared{
 		Name:   name,
 		Region: norm,
-		edges:  make([]geom.Segment, 0, total),
-		polys:  make([]preparedPoly, 0, len(norm)),
 		fastOK: true,
 	}
+	// One coordinate block per region, sub-sliced four ways. The capped
+	// three-index slices keep an append on one stream from bleeding into the
+	// next (and into a neighbouring region's block when ar is shared).
+	coords := ar.float64s(4 * total)
+	p.ax = coords[0:total:total]
+	p.ay = coords[total : 2*total : 2*total]
+	p.bx = coords[2*total : 3*total : 3*total]
+	p.by = coords[3*total : 4*total : 4*total]
+	p.polyOff = ar.int32s(len(norm) + 1)
+	p.polys = ar.polySlab(len(norm))
+
 	box := geom.EmptyRect()
-	for _, poly := range norm {
+	k := 0
+	for pi, poly := range norm {
+		p.polyOff[pi] = int32(k)
 		pb := poly.BoundingBox()
 		area := poly.Area()
 		box = box.Union(pb)
-		p.polys = append(p.polys, preparedPoly{ring: poly, box: pb, area: area})
+		p.polys[pi] = preparedPoly{ring: poly, box: pb, area: area}
 		p.totalArea += area
-		for i := 0; i < poly.NumEdges(); i++ {
-			e := poly.Edge(i)
-			if e.IsDegenerate() {
+		n := len(poly)
+		for i := 0; i < n; i++ {
+			j := i + 1
+			if j == n {
+				j = 0
+			}
+			a, b := poly[i], poly[j]
+			if a.Eq(b) {
 				p.fastOK = false // zero-length edges break the band derivation
 			}
-			p.edges = append(p.edges, e)
+			p.ax[k], p.ay[k] = a.X, a.Y
+			p.bx[k], p.by[k] = b.X, b.Y
+			k++
 		}
 		if area == 0 {
 			p.fastOK = false // degenerate rings violate the orientation invariant
 		}
 	}
+	p.polyOff[len(norm)] = int32(k)
 	p.Box = box
 	p.grid, p.gridErr = NewGrid(box)
 	if p.gridErr == nil {
@@ -90,8 +127,17 @@ func Prepare(name string, r geom.Region) (*Prepared, error) {
 }
 
 // PrepareAll preprocesses a batch of named regions, enforcing the batch
-// naming contract (non-empty, unique names).
+// naming contract (non-empty, unique names). The prepared regions share one
+// arena (a handful of large backing slices), so a 10^5-region world costs a
+// few slab allocations instead of per-region GC churn; see PrepareAllIn to
+// supply — and reuse — the arena explicitly.
 func PrepareAll(regions []NamedRegion) ([]*Prepared, error) {
+	return PrepareAllIn(NewArena(), regions)
+}
+
+// PrepareAllIn is PrepareAll with the backing storage drawn from ar. A nil
+// arena falls back to per-region allocations.
+func PrepareAllIn(ar *Arena, regions []NamedRegion) ([]*Prepared, error) {
 	seen := make(map[string]bool, len(regions))
 	out := make([]*Prepared, len(regions))
 	for i, r := range regions {
@@ -102,7 +148,7 @@ func PrepareAll(regions []NamedRegion) ([]*Prepared, error) {
 			return nil, fmt.Errorf("core: duplicate region name %q", r.Name)
 		}
 		seen[r.Name] = true
-		p, err := Prepare(r.Name, r.Region)
+		p, err := prepareIn(ar, r.Name, r.Region)
 		if err != nil {
 			return nil, err
 		}
@@ -112,11 +158,30 @@ func PrepareAll(regions []NamedRegion) ([]*Prepared, error) {
 }
 
 // NumEdges returns the region's total edge count (k in the paper's bounds).
-func (p *Prepared) NumEdges() int { return len(p.edges) }
+func (p *Prepared) NumEdges() int { return len(p.ax) }
 
-// Edges returns the region's edges as one contiguous slice in polygon ring
-// order. The slice is shared — callers must not mutate it.
-func (p *Prepared) Edges() []geom.Segment { return p.edges }
+// Edges materialises the region's edges as one fresh slice in polygon ring
+// order. The canonical storage is the struct-of-arrays coordinate layout;
+// this accessor exists for callers that want segment values (tests, debug
+// output), not for hot paths.
+func (p *Prepared) Edges() []geom.Segment {
+	out := make([]geom.Segment, len(p.ax))
+	for i := range out {
+		out[i] = geom.Segment{
+			A: geom.Point{X: p.ax[i], Y: p.ay[i]},
+			B: geom.Point{X: p.bx[i], Y: p.by[i]},
+		}
+	}
+	return out
+}
+
+// edge materialises edge i from the coordinate slices.
+func (p *Prepared) edge(i int) geom.Segment {
+	return geom.Segment{
+		A: geom.Point{X: p.ax[i], Y: p.ay[i]},
+		B: geom.Point{X: p.bx[i], Y: p.by[i]},
+	}
+}
 
 // Grid returns the nine-tile grid induced by the region's bounding box, or
 // an error when the box is degenerate and the region cannot serve as a
@@ -130,8 +195,8 @@ func (p *Prepared) Grid() (Grid, error) { return p.grid, p.gridErr }
 // The zero value is ready to use.
 type Scratch struct {
 	buf   []geom.Segment
-	acc   [NumTiles]float64 // per-tile trapezoid accumulators (RelatePct)
-	accBN float64           // B∪N slab accumulator against y = l1 (RelatePct)
+	acc   [NumTiles]float64 // per-tile trapezoid accumulators (reference kernel)
+	accBN float64           // B∪N slab accumulator against y = l1 (reference kernel)
 }
 
 // Relate computes the cardinal direction relation a R b of the primary a
@@ -147,7 +212,7 @@ func Relate(a, b *Prepared, sc *Scratch) (Relation, error) {
 		sc = getScratch()
 		defer putScratch(sc)
 	}
-	return a.relate(b.grid, b.center, false, sc, nil), nil
+	return a.relate(b.grid, b.center, false, false, sc, nil), nil
 }
 
 // RelateGrid computes the relation of the primary region against an
@@ -157,17 +222,22 @@ func (p *Prepared) RelateGrid(g Grid, sc *Scratch) Relation {
 		sc = getScratch()
 		defer putScratch(sc)
 	}
-	return p.relate(g, g.Box().Center(), false, sc, nil)
+	return p.relate(g, g.Box().Center(), false, false, sc, nil)
 }
 
 // relate dispatches between the MBB fast path and the full edge-splitting
-// algorithm. The result is always a valid (non-empty) relation: Prepare
-// guarantees at least one edge exists.
-func (p *Prepared) relate(g Grid, center geom.Point, noPrune bool, sc *Scratch, st *Stats) Relation {
+// algorithm (the SoA kernel, or with ref the per-edge reference kernel —
+// kept for differential tests and benchmark ablations). The result is
+// always a valid (non-empty) relation: Prepare guarantees at least one edge
+// exists.
+func (p *Prepared) relate(g Grid, center geom.Point, noPrune, ref bool, sc *Scratch, st *Stats) Relation {
 	if !noPrune {
 		if rel, ok := p.relateFast(g, st); ok {
 			return rel
 		}
+	}
+	if ref {
+		return p.relateFullRef(g, center, sc, st)
 	}
 	return p.relateFull(g, center, sc, st)
 }
@@ -274,16 +344,17 @@ func (p *Prepared) relateFast(g Grid, st *Stats) (Relation, bool) {
 	return 0, false
 }
 
-// relateFull is the paper's Compute-CDR over the flattened edge slice: split
-// each edge on the grid lines, classify each sub-segment by its midpoint
-// with interior-side tie-breaking, and add tile B for polygons enclosing the
-// reference box's center. The center test is skipped once B is present and
-// rejected early through the per-polygon bounding box.
-func (p *Prepared) relateFull(g Grid, center geom.Point, sc *Scratch, st *Stats) Relation {
+// relateFullRef is the per-edge reference implementation of Compute-CDR
+// over Prepared edges: materialise each edge, split it with Grid.SplitEdge,
+// classify every sub-segment. It computes bit-identical results to the SoA
+// kernel in relateFull (asserted by TestSoAKernelDifferential) and exists
+// for exactly that comparison — and as the BatchOptions.NoSoA ablation
+// baseline. Do not use on hot paths.
+func (p *Prepared) relateFullRef(g Grid, center geom.Point, sc *Scratch, st *Stats) Relation {
 	var rel Relation
 	buf := sc.buf
-	for _, e := range p.edges {
-		buf = g.SplitEdge(e, buf[:0])
+	for i := 0; i < len(p.ax); i++ {
+		buf = g.SplitEdge(p.edge(i), buf[:0])
 		if st != nil {
 			st.EdgesIn++
 			st.EdgeVisits++
@@ -295,6 +366,64 @@ func (p *Prepared) relateFull(g Grid, center geom.Point, sc *Scratch, st *Stats)
 		}
 	}
 	sc.buf = buf
+	return p.addCenterTile(rel, center, st)
+}
+
+// relateFull is the paper's Compute-CDR over the struct-of-arrays edge
+// layout: one pass over the flat coordinate slices, splitting an edge on
+// the grid lines only when its coordinate span actually straddles one
+// (detected with four compares, no divisions), classifying each sub-segment
+// by its midpoint with interior-side tie-breaking, and adding tile B for
+// polygons enclosing the reference box's center. The no-split case — the
+// overwhelming majority of edges in batch workloads — runs branch-light
+// with no Segment materialisation and no buffer traffic.
+func (p *Prepared) relateFull(g Grid, center geom.Point, sc *Scratch, st *Stats) Relation {
+	var rel Relation
+	m1, m2, l1, l2 := g.M1, g.M2, g.L1, g.L2
+	ax, ay, bx, by := p.ax, p.ay, p.bx, p.by
+	var qx, qy [6]float64
+	outCount := 0
+	for i := range ax {
+		x0, y0, x1, y1 := ax[i], ay[i], bx[i], by[i]
+		lox, hix := x0, x1
+		if lox > hix {
+			lox, hix = hix, lox
+		}
+		loy, hiy := y0, y1
+		if loy > hiy {
+			loy, hiy = hiy, loy
+		}
+		// An edge crosses x = m iff m lies strictly between its endpoint
+		// x-coordinates (Definition 3: touching at an endpoint or lying on
+		// the line is not a crossing), and likewise for horizontal lines —
+		// so a span test per line decides "no split" without a division.
+		if (hix <= m1 || lox >= m1) && (hix <= m2 || lox >= m2) &&
+			(hiy <= l1 || loy >= l1) && (hiy <= l2 || loy >= l2) {
+			outCount++
+			rel |= 1 << tileGrid[classifyRow(l1, l2, (y0+y1)/2, x1-x0)][classifyCol(m1, m2, (x0+x1)/2, y1-y0)]
+			continue
+		}
+		cnt := splitEdgeInto(m1, m2, l1, l2, x0, y0, x1, y1, &qx, &qy)
+		outCount += cnt
+		for k := 0; k < cnt; k++ {
+			rel |= 1 << tileGrid[classifyRow(l1, l2, (qy[k]+qy[k+1])/2, qx[k+1]-qx[k])][classifyCol(m1, m2, (qx[k]+qx[k+1])/2, qy[k+1]-qy[k])]
+		}
+	}
+	if st != nil {
+		// Every edge contributes at least one sub-segment, so the split
+		// count is the surplus over the edge count.
+		st.EdgesIn += len(ax)
+		st.EdgeVisits += len(ax)
+		st.EdgesOut += outCount
+		st.Intersections += outCount - len(ax)
+	}
+	return p.addCenterTile(rel, center, st)
+}
+
+// addCenterTile adds tile B for polygons enclosing the reference box's
+// center — the shared tail of the full kernels. The center test is skipped
+// once B is present and rejected early through the per-polygon bounding box.
+func (p *Prepared) addCenterTile(rel Relation, center geom.Point, st *Stats) Relation {
 	if !rel.Has(TileB) {
 		for i := range p.polys {
 			pp := &p.polys[i]
@@ -311,4 +440,151 @@ func (p *Prepared) relateFull(g Grid, center geom.Point, sc *Scratch, st *Stats)
 		}
 	}
 	return rel
+}
+
+// splitEdgeInto cuts the edge (x0,y0)→(x1,y1) at its proper crossings with
+// the four grid lines and writes the resulting polyline vertices into
+// (qx,qy): entry 0 is the edge start, entry cnt is the edge end, and the cnt
+// sub-segments run between consecutive vertices. It is Grid.SplitEdge
+// working in raw coordinates — same crossing tests, same insertion order
+// and sort, same corner coalescing and degenerate-piece skipping, the same
+// exact on-line snapping — minus the Segment materialisation and buffer
+// traffic, so the SoA kernels split without leaving their register file.
+// Finite coordinates assumed (the geometry layer validates them).
+func splitEdgeInto(m1, m2, l1, l2, x0, y0, x1, y1 float64, qx, qy *[6]float64) int {
+	var ts [4]float64
+	var cs [4]float64
+	var vert [4]bool
+	n := 0
+	dx := x1 - x0
+	dy := y1 - y0
+	// Candidate cuts in SplitEdge's insertion order (M1, M2, L1, L2), so the
+	// stable insertion sort below resolves equal parameters identically.
+	if dx != 0 {
+		if t := (m1 - x0) / dx; t > 0 && t < 1 {
+			ts[n], cs[n], vert[n] = t, m1, true
+			n++
+		}
+		if t := (m2 - x0) / dx; t > 0 && t < 1 {
+			ts[n], cs[n], vert[n] = t, m2, true
+			n++
+		}
+	}
+	if dy != 0 {
+		if t := (l1 - y0) / dy; t > 0 && t < 1 {
+			ts[n], cs[n], vert[n] = t, l1, false
+			n++
+		}
+		if t := (l2 - y0) / dy; t > 0 && t < 1 {
+			ts[n], cs[n], vert[n] = t, l2, false
+			n++
+		}
+	}
+	qx[0], qy[0] = x0, y0
+	if n == 0 {
+		qx[1], qy[1] = x1, y1
+		return 1
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+			vert[j], vert[j-1] = vert[j-1], vert[j]
+		}
+	}
+	// Materialise cut points — coalescing a vertical/horizontal pair with
+	// (nearly) equal parameters into the exact grid corner, as SplitEdge
+	// does — and drop degenerate pieces by skipping repeated vertices.
+	const cornerEps = 1e-12
+	cnt := 0
+	prevx, prevy := x0, y0
+	for i := 0; i < n; i++ {
+		var cx, cy float64
+		if i+1 < n && vert[i] != vert[i+1] && ts[i+1]-ts[i] <= cornerEps {
+			cx, cy = cs[i], cs[i+1]
+			if !vert[i] {
+				cx, cy = cy, cx
+			}
+			i++
+		} else if vert[i] {
+			cx, cy = cs[i], y0+ts[i]*(y1-y0)
+		} else {
+			cx, cy = x0+ts[i]*(x1-x0), cs[i]
+		}
+		if cx != prevx || cy != prevy {
+			cnt++
+			qx[cnt], qy[cnt] = cx, cy
+			prevx, prevy = cx, cy
+		}
+	}
+	if x1 != prevx || y1 != prevy {
+		cnt++
+		qx[cnt], qy[cnt] = x1, y1
+	}
+	return cnt
+}
+
+// classifyTile is Grid.ClassifySegment over raw coordinates: the tile of a
+// segment known not to cross any grid line, decided by its midpoint, with
+// on-line segments resolved to the side of the polygon's interior (to the
+// right of A→B under the canonical clockwise orientation). It must mirror
+// Grid.ClassifySegment exactly — the SoA kernels promise bit-identical
+// results to the reference path.
+func classifyTile(m1, m2, l1, l2, x0, y0, x1, y1 float64) Tile {
+	col := classifyCol(m1, m2, (x0+x1)/2, y1-y0)
+	row := classifyRow(l1, l2, (y0+y1)/2, x1-x0)
+	return tileGrid[row][col]
+}
+
+// classifyCol is the column half of classifyTile: Grid.Col of the midpoint
+// x, with the on-line override applied first. It is small enough for the
+// inliner, which keeps the per-sub-segment classification call-free inside
+// the SoA kernels. The on-line cases: a segment on the west line has its
+// interior east of the line exactly when it runs northbound (dy > 0), and
+// symmetrically on the east line.
+func classifyCol(m1, m2, midx, dy float64) int {
+	if midx == m1 && dy != 0 {
+		if dy > 0 {
+			return 1
+		}
+		return 0
+	}
+	if midx == m2 && dy != 0 {
+		if dy > 0 {
+			return 2
+		}
+		return 1
+	}
+	if midx < m1 {
+		return 0
+	}
+	if midx > m2 {
+		return 2
+	}
+	return 1
+}
+
+// classifyRow is the row half of classifyTile: a segment on the south line
+// has its interior south of the line exactly when it runs eastbound
+// (dx > 0), and symmetrically on the north line.
+func classifyRow(l1, l2, midy, dx float64) int {
+	if midy == l1 && dx != 0 {
+		if dx > 0 {
+			return 0
+		}
+		return 1
+	}
+	if midy == l2 && dx != 0 {
+		if dx > 0 {
+			return 1
+		}
+		return 2
+	}
+	if midy < l1 {
+		return 0
+	}
+	if midy > l2 {
+		return 2
+	}
+	return 1
 }

@@ -192,20 +192,20 @@ func (s *RelationStore) recompute(i int) error {
 			b := s.ps[j]
 			// Each worker writes only the cells of its claimed j — row cell
 			// (i, j) and column cell (j, i) — so no two workers race.
-			s.rels[i][j] = a.relate(b.grid, b.center, false, sc, &st)
-			s.rels[j][i] = b.relate(a.grid, a.center, false, sc, &st)
+			s.rels[i][j] = a.relate(b.grid, b.center, false, false, sc, &st)
+			s.rels[j][i] = b.relate(a.grid, a.center, false, false, sc, &st)
 			st.Passes += 2
 			st.DeltaPairs += 2
 			if s.pcts != nil {
 				cij := &s.pcts[i][j]
-				tot, err := a.relatePctAreasInto(&cij.areas, b.grid, false, sc, &st)
+				tot, err := a.relatePctAreasInto(&cij.areas, b.grid, false, false, sc, &st)
 				if err != nil {
 					errs[j] = err
 					continue
 				}
 				percentInto(&cij.matrix, &cij.areas, tot)
 				cji := &s.pcts[j][i]
-				tot, err = b.relatePctAreasInto(&cji.areas, a.grid, false, sc, &st)
+				tot, err = b.relatePctAreasInto(&cji.areas, a.grid, false, false, sc, &st)
 				if err != nil {
 					errs[j] = err
 					continue

@@ -914,6 +914,7 @@ func Entries(o Options) []Entry {
 		{"E18", func() (Report, error) { return E18BatchScaling(o) }},
 		{"E19", func() (Report, error) { return E19PctBatchAndQueryPruning(o) }},
 		{"E20", func() (Report, error) { return E20StoreDelta(o) }},
+		{"E21", func() (Report, error) { return E21RawSpeed(o) }},
 	}
 }
 

@@ -162,10 +162,42 @@ func TestE20Report(t *testing.T) {
 	}
 }
 
+// TestE21Report runs the raw-speed suite in quick mode and enforces the
+// kernel-overhaul acceptance bars on its ablation metrics: the
+// struct-of-arrays percent kernel must beat the per-edge reference kernel
+// by ≥1.5x, and binary-snapshot recovery must beat the XML path by ≥2x.
+func TestE21Report(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E21RawSpeed(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"SoA kernel speedup", "binary recovery speedup", "p50 / p99"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E21 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	for _, key := range []string{"batch_qual_ms", "batch_pct_ms", "pct_kernel_soa_ms",
+		"pct_kernel_ref_ms", "pct_kernel_speedup", "delta_edit_us",
+		"recovery_bin_ms", "recovery_xml_ms", "recovery_speedup", "http_relation_p99"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("E21 metrics missing %q: %v", key, r.Metrics)
+		}
+	}
+	if got := r.Metrics["pct_kernel_speedup"]; got < 1.5 {
+		t.Errorf("SoA kernel speedup %.2fx, want >= 1.5x", got)
+	}
+	if got := r.Metrics["recovery_speedup"]; got < 2 {
+		t.Errorf("binary recovery speedup %.2fx, want >= 2x", got)
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 16 {
-		t.Fatalf("entries = %d, want 16 (E1-E3 … E20)", len(entries))
+	if len(entries) != 17 {
+		t.Fatalf("entries = %d, want 17 (E1-E3 … E21)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

@@ -9,12 +9,16 @@
 //	snapshot-<seq>.xml   full configuration (regions + materialised
 //	                     relations with pct), written by the DTD writer in
 //	                     sorted-id order via temp file + atomic rename
+//	snapshot-<seq>.bin   the same document in the checksummed binary
+//	                     format (see binsnap.go), which recovery prefers
+//	                     because it decodes much faster than the XML
 //	wal-<seq>.log        region edits applied after snapshot <seq>
 //	                     (see internal/wal for the framing)
 //
 // Exactly one (snapshot, wal) generation is live at a time; Snapshot()
 // writes generation seq+1 and removes generation seq, which truncates the
-// log. Recovery loads the newest readable snapshot, seeds the relation
+// log. Recovery loads the newest readable snapshot — the binary file when
+// it is present and passes its CRC, the XML otherwise — seeds the relation
 // store from its materialised relations (no all-pairs recompute — see
 // config.TrackSeeded), and replays the WAL tail through the tracked
 // store's edit methods, so the delta engine rebuilds exactly the cached
@@ -82,11 +86,12 @@ type Store struct {
 	// reports totals across the store's lifetime.
 	walCum wal.Metrics
 
-	recoveryNs int64
-	replayed   int
-	skipped    int
-	seeded     bool
-	corruption string
+	recoveryNs    int64
+	replayed      int
+	skipped       int
+	seeded        bool
+	recoveredFrom string
+	corruption    string
 	lastSnap   time.Time
 	err        error
 }
@@ -111,6 +116,10 @@ type Status struct {
 	// store from the snapshot's materialised relations (true) or had to
 	// recompute all pairs (false; also false for a fresh initialisation).
 	SeededFromSnapshot bool `json:"seeded_from_snapshot"`
+	// RecoveredFrom names the snapshot format recovery loaded: "binary"
+	// when the checksummed binary file was used, "xml" when recovery fell
+	// back to (or only found) the XML, "" for a fresh initialisation.
+	RecoveredFrom string `json:"recovered_from,omitempty"`
 	// Corruption describes a discarded WAL tail ("" when the log was
 	// intact).
 	Corruption string `json:"corruption,omitempty"`
@@ -219,6 +228,19 @@ func (s *Store) recover(seqs []uint64) error {
 	var img *config.Image
 	for i := len(seqs) - 1; i >= 0; i-- {
 		seq := seqs[i]
+		// Prefer the binary snapshot: same document, no XML decode. A
+		// missing or corrupt binary (torn rotation, bit rot caught by the
+		// CRC) falls back to the XML of the same generation; a generation
+		// with neither readable falls back to the previous generation.
+		binPath := filepath.Join(s.dir, binSnapshotName(seq))
+		if loaded, err := loadBinarySnapshot(binPath); err == nil {
+			img = loaded
+			s.seq = seq
+			s.recoveredFrom = "binary"
+			break
+		} else if !os.IsNotExist(err) {
+			s.log.Warn("persist: binary snapshot unreadable; falling back to XML", "path", binPath, "err", err)
+		}
 		path := filepath.Join(s.dir, snapshotName(seq))
 		loaded, err := loadSnapshot(path)
 		if err != nil {
@@ -227,6 +249,7 @@ func (s *Store) recover(seqs []uint64) error {
 		}
 		img = loaded
 		s.seq = seq
+		s.recoveredFrom = "xml"
 		break
 	}
 	if img == nil {
@@ -410,7 +433,11 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 }
 
 // writeSnapshotFile materialises the tracked relations and writes the
-// document to snapshot-<seq>.xml atomically (temp file, fsync, rename).
+// document as snapshot-<seq> in both formats, each atomically (temp file,
+// fsync, rename). The binary file is installed first and the XML second:
+// scanSnapshots keys generations off the XML name, so a generation only
+// becomes visible once both files are in place, and a crash between the two
+// renames leaves an orphaned .bin that the stale sweep removes.
 func (s *Store) writeSnapshotFile(seq uint64) error {
 	if s.tr.Store().Len() == 0 {
 		return ErrEmptyWorld
@@ -418,15 +445,25 @@ func (s *Store) writeSnapshotFile(seq uint64) error {
 	if err := s.tr.Materialize(s.opt.Pct); err != nil {
 		return fmt.Errorf("persist: materialising relations: %w", err)
 	}
-	var data []byte
+	var data, bin []byte
 	err := s.tr.View(func(img *config.Image) error {
 		var err error
 		data, err = img.Bytes()
+		bin = encodeBinarySnapshot(img)
 		return err
 	})
 	if err != nil {
 		return fmt.Errorf("persist: encoding snapshot: %w", err)
 	}
+	if err := s.writeFileAtomic(binSnapshotName(seq), bin); err != nil {
+		return err
+	}
+	return s.writeFileAtomic(snapshotName(seq), data)
+}
+
+// writeFileAtomic installs data as name in the data directory via temp
+// file + fsync + rename.
+func (s *Store) writeFileAtomic(name string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
 	if err != nil {
 		return fmt.Errorf("persist: creating snapshot temp file: %w", err)
@@ -443,7 +480,7 @@ func (s *Store) writeSnapshotFile(seq uint64) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: closing snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotName(seq))); err != nil {
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
 		return fmt.Errorf("persist: installing snapshot: %w", err)
 	}
 	return nil
@@ -463,9 +500,10 @@ func (s *Store) syncDir() error {
 	return nil
 }
 
-// removeGeneration deletes generation seq's snapshot and log.
+// removeGeneration deletes generation seq's snapshots (both formats) and
+// log.
 func (s *Store) removeGeneration(seq uint64) {
-	for _, name := range []string{snapshotName(seq), walName(seq)} {
+	for _, name := range []string{snapshotName(seq), binSnapshotName(seq), walName(seq)} {
 		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
 			s.log.Warn("persist: removing retired file", "file", name, "err", err)
 		}
@@ -481,12 +519,13 @@ func (s *Store) removeStale() {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		keep := name == snapshotName(s.seq) || name == walName(s.seq)
+		keep := name == snapshotName(s.seq) || name == binSnapshotName(s.seq) || name == walName(s.seq)
 		var seq uint64
 		isSnap, _ := fmt.Sscanf(name, "snapshot-%d.xml", &seq)
+		isBin, _ := fmt.Sscanf(name, "snapshot-%d.bin", &seq)
 		isWal, _ := fmt.Sscanf(name, "wal-%d.log", &seq)
 		isTmp := len(name) > 4 && name[len(name)-4:] == ".tmp"
-		if keep || (isSnap == 0 && isWal == 0 && !isTmp) {
+		if keep || (isSnap == 0 && isBin == 0 && isWal == 0 && !isTmp) {
 			continue
 		}
 		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
@@ -510,6 +549,7 @@ func (s *Store) Status() Status {
 		ReplayedRecords:    s.replayed,
 		SkippedRecords:     s.skipped,
 		SeededFromSnapshot: s.seeded,
+		RecoveredFrom:      s.recoveredFrom,
 		Corruption:         s.corruption,
 		LastSnapshot:       s.lastSnap,
 	}

@@ -164,8 +164,9 @@ func TestSnapshotRotation(t *testing.T) {
 	for _, e := range entries {
 		names = append(names, e.Name())
 	}
-	if len(names) != 2 || names[0] != "snapshot-00000002.xml" || names[1] != "wal-00000002.log" {
-		t.Fatalf("directory after rotation: %v", names)
+	want := []string{"snapshot-00000002.bin", "snapshot-00000002.xml", "wal-00000002.log"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("directory after rotation: %v, want %v", names, want)
 	}
 
 	r := openForTest(t, dir, nil)

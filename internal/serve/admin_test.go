@@ -5,6 +5,8 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"cardirect/internal/config"
@@ -81,6 +83,67 @@ func TestAdminStatusAndSnapshot(t *testing.T) {
 	// The pre-rotation record stays in the cumulative WAL counters.
 	if st.WAL.Records != 1 {
 		t.Errorf("cumulative wal records = %d, want 1", st.WAL.Records)
+	}
+}
+
+// TestAdminStatusRecoveredFrom asserts the admin surface reports which
+// snapshot format recovery loaded: "binary" when the checksummed binary
+// file is intact, "xml" after falling back, and nothing for a fresh
+// initialisation.
+func TestAdminStatusRecoveredFrom(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	dir := t.TempDir()
+	opts := persist.Options{Pct: true, Logger: logger, Sync: wal.Options{Policy: wal.SyncNever}}
+
+	serveStatus := func(ps *persist.Store) map[string]any {
+		t.Helper()
+		srv := serve.New(ps.Tracked(), serve.Options{Logger: logger, Persist: ps})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		var raw map[string]any
+		if got := doJSON(t, "GET", ts.URL+"/api/admin/status", nil, &raw); got != http.StatusOK {
+			t.Fatalf("GET /api/admin/status: %d", got)
+		}
+		return raw
+	}
+
+	ps, err := persist.Open(dir, config.Greece(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := serveStatus(ps); raw["recovered_from"] != nil {
+		t.Errorf("fresh initialisation reports recovered_from = %v", raw["recovered_from"])
+	}
+	ps.Close()
+	ps.Tracked().Close()
+
+	ps2, err := persist.Open(dir, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw := serveStatus(ps2); raw["recovered_from"] != "binary" {
+		t.Errorf("recovered_from = %v, want binary", raw["recovered_from"])
+	}
+	ps2.Close()
+	ps2.Tracked().Close()
+
+	// Remove the binary snapshot: the status must report the XML fallback.
+	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.bin"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no binary snapshot written: %v, %v", matches, err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps3, err := persist.Open(dir, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { ps3.Close(); ps3.Tracked().Close() }()
+	if raw := serveStatus(ps3); raw["recovered_from"] != "xml" {
+		t.Errorf("recovered_from = %v, want xml", raw["recovered_from"])
 	}
 }
 

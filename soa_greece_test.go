@@ -1,0 +1,50 @@
+package cardirect
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFacadeSoAGreeceDifferential runs the paper's Fig. 11 Greece fixture
+// through both batch engines with the struct-of-arrays kernels on and off
+// and asserts bit-identical output — relations, absolute tile areas and
+// percent matrices compared with exact float equality. The core package
+// cannot import the fixture (internal/config imports core), so the Greece
+// leg of the SoA differential lives here at the facade.
+func TestFacadeSoAGreeceDifferential(t *testing.T) {
+	img := Greece()
+	regions := make([]NamedRegion, len(img.Regions))
+	for i := range img.Regions {
+		regions[i] = NamedRegion{Name: img.Regions[i].ID, Region: img.Regions[i].Geometry()}
+	}
+	for _, noPrune := range []bool{false, true} {
+		qualSoA, err := BatchCDR(nil, regions, &BatchOptions{Workers: 1, NoPrune: noPrune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qualRef, err := BatchCDR(nil, regions, &BatchOptions{Workers: 1, NoPrune: noPrune, NoSoA: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(qualSoA.Pairs, qualRef.Pairs) {
+			t.Errorf("noPrune=%v: qualitative pairs diverge on Greece", noPrune)
+		}
+		pctSoA, err := BatchPct(nil, regions, &BatchOptions{Workers: 1, NoPrune: noPrune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pctRef, err := BatchPct(nil, regions, &BatchOptions{Workers: 1, NoPrune: noPrune, NoSoA: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pctSoA.Pairs) != len(pctRef.Pairs) {
+			t.Fatalf("noPrune=%v: %d vs %d pct pairs", noPrune, len(pctSoA.Pairs), len(pctRef.Pairs))
+		}
+		for i := range pctSoA.Pairs {
+			g, r := pctSoA.Pairs[i], pctRef.Pairs[i]
+			if g.Areas != r.Areas || g.Matrix != r.Matrix {
+				t.Errorf("noPrune=%v: %s vs %s not bit-identical", noPrune, g.Primary, g.Reference)
+			}
+		}
+	}
+}
