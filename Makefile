@@ -31,11 +31,14 @@ race:
 smoke:
 	$(GO) test -count=1 -run 'TestCardirectdSmoke|TestCardirectdCrashRecovery' ./cmd/cardirectd
 
-# Short fuzz runs of the crash-surface decoders: WAL replay and the
-# snapshot pct attribute. CI runs these; locally, crank -fuzztime.
+# Short fuzz runs of the crash-surface decoders — WAL replay and the
+# snapshot pct attribute — plus the planner differential: random queries
+# over a fixed world must bind identically with the planner on and off.
+# CI runs these; locally, crank -fuzztime.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
 	$(GO) test -run='^$$' -fuzz=FuzzParsePct -fuzztime=10s ./internal/config
+	$(GO) test -run='^$$' -fuzz=FuzzPlannerDifferential -fuzztime=10s ./internal/query
 
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:
@@ -46,31 +49,36 @@ bench:
 bench-short:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
-# Regression gate over the raw-speed suite (E21): re-measure and compare
-# against the committed baseline; timing metrics may not grow — and
-# speedups may not shrink — by more than TREND_THRESHOLD (fraction).
-# CI runs the quick flavour against BENCH_E21_quick.json; a full local
-# run compares against BENCH_E21.json. The default threshold leaves
-# headroom for the timing jitter of shared/virtualized hardware — the
-# sub-millisecond metrics tail out past 35% there even as best-of-three
-# measurements; tighten it on quiet bare metal. The hard perf floors
-# (SoA ≥1.5x, binary recovery ≥2x) are enforced as noise-robust ratios
-# by the test suite regardless, so the trend gate's job is catching
-# gross drift, not 10% creep.
+# Regression gate over the raw-speed suite (E21) and the query-planner
+# suite (E22): re-measure and compare against the committed baselines;
+# timing metrics may not grow — and speedups may not shrink — by more
+# than TREND_THRESHOLD (fraction). CI runs the quick flavour against
+# BENCH_*_quick.json; a full local run compares against the full
+# baselines. The default threshold leaves headroom for the timing jitter
+# of shared/virtualized hardware — the sub-millisecond metrics tail out
+# past 35% there even as best-of-three measurements; tighten it on quiet
+# bare metal. The hard perf floors (SoA ≥1.5x, binary recovery ≥2x,
+# planner ≥5x) are enforced as noise-robust ratios by the test suite
+# regardless, so the trend gate's job is catching gross drift, not 10%
+# creep.
 TREND_THRESHOLD ?= 0.5
 
 bench-trend:
 	$(GO) run ./cmd/cdrbench -quick -only E21 -compare baselines/BENCH_E21_quick.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -quick -only E22 -compare baselines/BENCH_E22_quick.json -threshold $(TREND_THRESHOLD)
 
-# Full-size E21 trend check (minutes, not seconds).
+# Full-size trend checks (minutes, not seconds).
 bench-trend-full:
 	$(GO) run ./cmd/cdrbench -only E21 -compare baselines/BENCH_E21.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -only E22 -compare baselines/BENCH_E22.json -threshold $(TREND_THRESHOLD)
 
-# Re-record the committed E21 baselines (run on a quiet machine, then
-# commit baselines/*.json).
+# Re-record the committed baselines (run on a quiet machine, then commit
+# baselines/*.json).
 bench-baseline:
 	$(GO) run ./cmd/cdrbench -quick -only E21 -json && mv BENCH_E21.json baselines/BENCH_E21_quick.json
 	$(GO) run ./cmd/cdrbench -only E21 -json && mv BENCH_E21.json baselines/BENCH_E21.json
+	$(GO) run ./cmd/cdrbench -quick -only E22 -json && mv BENCH_E22.json baselines/BENCH_E22_quick.json
+	$(GO) run ./cmd/cdrbench -only E22 -json && mv BENCH_E22.json baselines/BENCH_E22.json
 
 experiments:
 	$(GO) run ./cmd/cdrbench -quick

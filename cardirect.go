@@ -233,6 +233,19 @@ type (
 	Binding = query.Binding
 	// Evaluator answers queries over a configuration.
 	Evaluator = query.Evaluator
+	// PreparedQuery is a parse-once/plan-once statement with $-parameters.
+	PreparedQuery = query.PreparedQuery
+	// QueryResult is a planned evaluation's full outcome: bindings plus the
+	// executed plan, cache outcome and store generation.
+	QueryResult = query.Result
+	// PlanInfo describes an executed query plan: join order, condition
+	// schedule, pushed-down conditions and candidate-set sizes.
+	PlanInfo = query.PlanInfo
+	// PlanCache is an LRU cache of query plans keyed by query text,
+	// invalidated by the store's edit generation.
+	PlanCache = query.PlanCache
+	// PlanCacheStats counts plan cache hits, misses and replans.
+	PlanCacheStats = query.PlanCacheStats
 )
 
 var (
@@ -240,6 +253,8 @@ var (
 	ParseQuery = query.Parse
 	// NewEvaluator prepares a query evaluator for a configuration.
 	NewEvaluator = query.NewEvaluator
+	// NewPlanCache returns an LRU plan cache to share across evaluators.
+	NewPlanCache = query.NewPlanCache
 )
 
 // Workload generation (experiments and examples).

@@ -16,6 +16,7 @@
 //	E19    zero-allocation percent batch × R-tree query pruning
 //	E20    incremental relation store: single-edit delta vs full recompute
 //	E21    raw-speed suite: SoA kernel, binary recovery, HTTP tail latency
+//	E22    cost-based query planner vs written order; plan cache warm vs cold
 //
 // Usage:
 //

@@ -62,8 +62,20 @@ type RelationStore struct {
 	rels [][]Relation   // rels[i][j] = relation of ps[i] against ps[j]; diagonal unused
 	pcts [][]pctCell    // parallel quantitative matrix; nil unless opt.Pct
 
+	// gen counts successful edits (Add, Remove, SetGeometry, Rename). It is
+	// atomic so readers can poll it without taking mu: the query planner's
+	// plan cache re-plans when it moves, and the HTTP layer serves it as an
+	// ETag so repeat readers short-circuit to 304.
+	gen atomic.Uint64
+
 	stats Stats
 }
+
+// Generation returns the store's monotonic edit counter: 0 for a freshly
+// built store, +1 after every successful Add, Remove, SetGeometry or Rename.
+// Two reads returning the same value bracket a window with no edits, which
+// is what makes it usable as a cache validator (ETag, plan cache).
+func (s *RelationStore) Generation() uint64 { return s.gen.Load() }
 
 // NewRelationStore builds a store over the given regions, computing the full
 // all-pairs network once through the batch engines (MBB pruning, worker
@@ -259,6 +271,7 @@ func (s *RelationStore) Add(name string, r geom.Region) error {
 		}
 		s.pcts = append(s.pcts, make([]pctCell, i+1))
 	}
+	s.gen.Add(1)
 	return s.recompute(i)
 }
 
@@ -304,6 +317,7 @@ func (s *RelationStore) Remove(name string) error {
 		}
 	}
 	delete(s.idx, name)
+	s.gen.Add(1)
 	return nil
 }
 
@@ -326,6 +340,7 @@ func (s *RelationStore) SetGeometry(name string, r geom.Region) error {
 		return err
 	}
 	s.ps[i] = p
+	s.gen.Add(1)
 	return s.recompute(i)
 }
 
@@ -355,6 +370,7 @@ func (s *RelationStore) Rename(oldName, newName string) error {
 	s.ps[i] = &np
 	delete(s.idx, oldName)
 	s.idx[newName] = i
+	s.gen.Add(1)
 	return nil
 }
 
@@ -438,6 +454,37 @@ func (s *RelationStore) Percent(primary, reference string) (PercentMatrix, error
 		return PercentMatrix{}, err
 	}
 	return s.pcts[i][j].matrix, nil
+}
+
+// CountRelated counts, over every held region other than pinned, how many
+// have a cached relation in the allowed set against pinned — the region read
+// as primary and pinned as reference when pinnedIsRef, the transpose
+// otherwise. One row (or column) scan under the read lock, no geometry: the
+// query planner uses the (matched, total) pair as an exact selectivity for a
+// relation condition with one side pinned.
+func (s *RelationStore) CountRelated(pinned string, allowed RelationSet, pinnedIsRef bool) (matched, total int, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i, ok := s.idx[pinned]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: region %q: %w", pinned, ErrUnknownRegion)
+	}
+	for j := range s.ps {
+		if j == i {
+			continue
+		}
+		total++
+		var rel Relation
+		if pinnedIsRef {
+			rel = s.rels[j][i]
+		} else {
+			rel = s.rels[i][j]
+		}
+		if allowed.Contains(rel) {
+			matched++
+		}
+	}
+	return matched, total, nil
 }
 
 // Areas returns the cached per-tile areas of primary against reference. The

@@ -915,6 +915,7 @@ func Entries(o Options) []Entry {
 		{"E19", func() (Report, error) { return E19PctBatchAndQueryPruning(o) }},
 		{"E20", func() (Report, error) { return E20StoreDelta(o) }},
 		{"E21", func() (Report, error) { return E21RawSpeed(o) }},
+		{"E22", func() (Report, error) { return E22QueryPlanner(o) }},
 	}
 }
 

@@ -194,10 +194,50 @@ func TestE21Report(t *testing.T) {
 	}
 }
 
+// TestE22PlannerWins runs the planner experiment in quick mode and enforces
+// the acceptance bar: on the adversarially-ordered three-variable query over
+// the 500-region worlds (store on one worker), the cost-based planner must
+// beat written-order evaluation by at least 5x on both worlds — the metric is
+// the smaller of the two ratios — while producing identical bindings (the
+// experiment itself errors on any mismatch). The plan cache's warm p50 over
+// HTTP must also sit below the cold parse+plan p50.
+func TestE22PlannerWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E22QueryPlanner(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"written order", "planner", "speedup", "plan cache"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E22 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	for _, key := range []string{"written_ms_scatter", "planner_ms_scatter",
+		"written_ms_cluster", "planner_ms_cluster", "planner_speedup",
+		"query_cold_p50_us", "query_warm_p50_us"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("E22 metrics missing %q: %v", key, r.Metrics)
+		}
+	}
+	if got := r.Metrics["planner_speedup"]; got < 5 {
+		t.Errorf("planner speedup %.2fx, want >= 5x", got)
+	}
+	for _, w := range []string{"scatter", "cluster"} {
+		if r.Metrics["bindings_"+w] == 0 {
+			t.Errorf("E22 %s: adversarial query produced no bindings — differential is vacuous", w)
+		}
+	}
+	if cold, warm := r.Metrics["query_cold_p50_us"], r.Metrics["query_warm_p50_us"]; warm >= cold {
+		t.Errorf("warm plan-cache p50 %.0fµs not below cold p50 %.0fµs", warm, cold)
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 17 {
-		t.Fatalf("entries = %d, want 17 (E1-E3 … E21)", len(entries))
+	if len(entries) != 18 {
+		t.Fatalf("entries = %d, want 18 (E1-E3 … E22)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

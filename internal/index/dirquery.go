@@ -133,6 +133,40 @@ func DirectionalSelectStatsCtx(
 	return out, st, nil
 }
 
+// EstimateSelect runs only the cheap stages of the directional-selection
+// plan — R-tree window queries and MBB refinement, never exact geometry —
+// and returns the instrumentation (Exact and Matched stay zero). The query
+// planner reads MBBMatched/Total off the result as a sound upper-bound
+// selectivity estimate for a pinned-reference relation condition, paying a
+// few window queries instead of the selection itself.
+func EstimateSelect(tree *RTree, reference geom.Region, allowed core.RelationSet) (SelectStats, error) {
+	var st SelectStats
+	st.Total = tree.Len()
+	if allowed.IsEmpty() {
+		return st, fmt.Errorf("index: empty allowed relation set")
+	}
+	grid, err := core.NewGrid(reference.BoundingBox())
+	if err != nil {
+		return st, err
+	}
+	var tiles core.Relation
+	for _, r := range allowed.Relations() {
+		tiles = tiles.Union(r)
+	}
+	candidates := searchTiles(tree, grid, tiles, &st)
+	st.Candidates = len(candidates)
+	for _, it := range candidates {
+		mbbRel := mbbRelation(grid, it.Box)
+		for _, r := range allowed.Relations() {
+			if r.Intersect(mbbRel) == r {
+				st.MBBMatched++
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
 // FindRelated is the index-driven counterpart of core.FindRelated: it
 // bulk-loads the candidates' bounding boxes into a transient R-tree and
 // answers through DirectionalSelect, so on scatter-like inputs most
@@ -141,6 +175,12 @@ func DirectionalSelectStatsCtx(
 // a candidate with no usable geometry yields a wrapped
 // core.ErrDegenerateRegion like the scan path does.
 func FindRelated(candidates []core.NamedRegion, reference geom.Region, allowed core.RelationSet) ([]string, error) {
+	return FindRelatedCtx(context.Background(), candidates, reference, allowed)
+}
+
+// FindRelatedCtx is FindRelated honoring a context: cancellation is observed
+// once per candidate refinement, like DirectionalSelectStatsCtx.
+func FindRelatedCtx(ctx context.Context, candidates []core.NamedRegion, reference geom.Region, allowed core.RelationSet) ([]string, error) {
 	if allowed.IsEmpty() {
 		return nil, fmt.Errorf("core: empty allowed relation set")
 	}

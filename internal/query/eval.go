@@ -19,15 +19,20 @@ type Binding map[string]string
 // queries over the same configuration pay the geometry cost once per ordered
 // pair.
 type Evaluator struct {
-	img      *config.Image
-	geoms    map[string]geom.Region
-	preps    map[string]*core.Prepared
-	sc       *core.Scratch
-	ids      []string
-	store    *core.RelationStore
-	relCache map[[2]string]core.Relation
-	pctCache map[[2]string]core.PercentMatrix
-	attrs    map[string]func(*config.Region) string
+	img       *config.Image
+	geoms     map[string]geom.Region
+	regs      map[string]*config.Region
+	preps     map[string]*core.Prepared
+	sc        *core.Scratch
+	ids       []string
+	store     *core.RelationStore
+	live      *index.Live
+	plans     *PlanCache
+	noPlanner bool
+	cacheGen  uint64
+	relCache  map[[2]string]core.Relation
+	pctCache  map[[2]string]core.PercentMatrix
+	attrs     map[string]func(*config.Region) string
 }
 
 // NewEvaluator prepares an evaluator for the configuration. The built-in
@@ -40,8 +45,10 @@ func NewEvaluator(img *config.Image) (*Evaluator, error) {
 	e := &Evaluator{
 		img:      img,
 		geoms:    make(map[string]geom.Region, len(img.Regions)),
+		regs:     make(map[string]*config.Region, len(img.Regions)),
 		preps:    make(map[string]*core.Prepared, len(img.Regions)),
 		sc:       &core.Scratch{},
+		plans:    NewPlanCache(64),
 		relCache: map[[2]string]core.Relation{},
 		pctCache: map[[2]string]core.PercentMatrix{},
 		attrs: map[string]func(*config.Region) string{
@@ -50,8 +57,13 @@ func NewEvaluator(img *config.Image) (*Evaluator, error) {
 		},
 	}
 	for i := range img.Regions {
-		r := &img.Regions[i]
+		// Snapshot the region values alongside the geometries: attribute
+		// filters and the planner's selectivity counting then run as map
+		// lookups instead of linear FindRegion scans, and stay valid if
+		// the image's Regions slice is reallocated by an append elsewhere.
+		r := img.Regions[i]
 		e.geoms[r.ID] = r.Geometry()
+		e.regs[r.ID] = &r
 		e.ids = append(e.ids, r.ID)
 	}
 	sort.Strings(e.ids)
@@ -72,6 +84,51 @@ func (e *Evaluator) RegisterAttr(name string, fn func(*config.Region) string) {
 // region ids (as config.Track arranges). Pass nil to detach.
 func (e *Evaluator) UseStore(s *core.RelationStore) {
 	e.store = s
+}
+
+// UseIndex wires a maintained index.Live into the evaluator: the planner's
+// selectivity probes and relation pushdown run window queries against it
+// instead of bulk-loading transient trees. The index must cover the
+// evaluator's configuration (as config.Track arranges). Pass nil to detach.
+func (e *Evaluator) UseIndex(l *index.Live) {
+	e.live = l
+}
+
+// SetPlanner toggles cost-based planning (on by default). With the planner
+// off, Eval and Run bind variables and check conditions in written order —
+// the reference semantics the planner's differential tests compare against.
+func (e *Evaluator) SetPlanner(on bool) {
+	e.noPlanner = !on
+}
+
+// SetPlanCache replaces the evaluator's plan cache (a fresh evaluator owns
+// a private 64-entry cache). Sharing one cache across request-scoped
+// evaluators over the same tracked configuration lets repeated queries skip
+// parsing and planning; entries are validated against the store generation.
+// Pass nil to disable plan caching.
+func (e *Evaluator) SetPlanCache(c *PlanCache) {
+	e.plans = c
+}
+
+// PlanCacheHandle returns the evaluator's current plan cache (nil when
+// disabled).
+func (e *Evaluator) PlanCacheHandle() *PlanCache { return e.plans }
+
+// freshenCaches drops the lazy relation/percent caches when the attached
+// store's generation has moved since they were filled: cached pairs reflect
+// the geometry at fill time, so serving them across an edit would answer
+// queries from stale state even though the store itself is fresh. Every
+// query entry point calls this; direct Relation/Percent callers on a
+// long-lived evaluator over an edited store should call query paths instead
+// or use a fresh evaluator.
+func (e *Evaluator) freshenCaches() {
+	gen := e.generation()
+	if gen == e.cacheGen {
+		return
+	}
+	e.cacheGen = gen
+	clear(e.relCache)
+	clear(e.pctCache)
 }
 
 // prepared returns the region's Prepared form, building and caching it on
@@ -155,22 +212,19 @@ func (e *Evaluator) Percent(p, q string) (core.PercentMatrix, error) {
 	return m, nil
 }
 
-// EvalString parses and evaluates a query in one step.
+// EvalString parses and evaluates a query in one step, through the planner
+// and plan cache (see Run for the full result).
 func (e *Evaluator) EvalString(input string) ([]Binding, error) {
-	q, err := Parse(input)
-	if err != nil {
-		return nil, err
-	}
-	return e.Eval(q)
+	return e.EvalStringCtx(context.Background(), input)
 }
 
 // EvalStringCtx is EvalString honoring a context (see EvalCtx).
 func (e *Evaluator) EvalStringCtx(ctx context.Context, input string) ([]Binding, error) {
-	q, err := Parse(input)
+	res, err := e.Run(ctx, input, nil)
 	if err != nil {
 		return nil, err
 	}
-	return e.EvalCtx(ctx, q)
+	return res.Bindings, nil
 }
 
 // Eval evaluates the query, returning every satisfying assignment of region
@@ -183,43 +237,42 @@ func (e *Evaluator) Eval(q *Query) ([]Binding, error) {
 
 // EvalCtx is Eval honoring a context: the join loop checks for cancellation
 // at every candidate binding, so a server timeout aborts an expensive
-// multi-variable join mid-search with the context's error.
+// multi-variable join mid-search with the context's error. The query is
+// evaluated through the cost-based planner unless SetPlanner(false); the
+// text entry points (Run, EvalString) additionally consult the plan cache.
 func (e *Evaluator) EvalCtx(ctx context.Context, q *Query) ([]Binding, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.freshenCaches()
+	if e.noPlanner {
+		return e.evalWrittenOrder(ctx, q)
+	}
+	rq, err := q.resolve(nil)
+	if err != nil {
+		return nil, err
+	}
+	plan := e.buildPlan(q)
+	ex, err := e.prepareExec(ctx, rq, plan)
+	if err != nil {
+		return nil, err
+	}
+	return e.runJoin(ctx, rq, plan, ex)
+}
+
+// evalWrittenOrder evaluates the query in the user's written order — the
+// pre-planner semantics, kept as the planner-off path and as the reference
+// implementation the planner is differentially tested against.
+func (e *Evaluator) evalWrittenOrder(ctx context.Context, q *Query) ([]Binding, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.freshenCaches()
 	// Pre-index conditions per variable for cheap unit propagation:
 	// bindings and attribute filters restrict candidate sets up-front.
-	candidates := make(map[string][]string, len(q.Vars))
-	for _, v := range q.Vars {
-		cand := e.ids
-		for _, c := range q.Conds {
-			switch cc := c.(type) {
-			case BindCond:
-				if cc.Var == v {
-					if e.img.FindRegion(cc.RegionID) == nil {
-						return nil, fmt.Errorf("query: unknown region %q in %v", cc.RegionID, cc)
-					}
-					cand = intersect(cand, []string{cc.RegionID})
-				}
-			case AttrCond:
-				if cc.Var != v {
-					continue
-				}
-				fn, ok := e.attrs[cc.Attr]
-				if !ok {
-					return nil, fmt.Errorf("query: unknown attribute %q in %v", cc.Attr, cc)
-				}
-				var keep []string
-				for _, id := range cand {
-					if (fn(e.img.FindRegion(id)) == cc.Value) != cc.Negated {
-						keep = append(keep, id)
-					}
-				}
-				cand = keep
-			}
-		}
-		candidates[v] = cand
+	candidates, err := e.buildCandidates(q)
+	if err != nil {
+		return nil, err
 	}
 	// Relation and percentage conditions, grouped for the join loop.
 	var rels []RelCond
@@ -250,23 +303,16 @@ func (e *Evaluator) EvalCtx(ctx context.Context, q *Query) ([]Binding, error) {
 			if len(refCand) != 1 || len(candidates[rc.Left]) < 2 {
 				continue
 			}
-			refID := refCand[0]
-			named := make([]core.NamedRegion, 0, len(candidates[rc.Left]))
-			selfIn := false
-			for _, id := range candidates[rc.Left] {
-				if id == refID {
-					selfIn = true // handled by the l==r rule, not geometry
-					continue
-				}
-				named = append(named, core.NamedRegion{Name: id, Region: e.geoms[id]})
-			}
-			keep, err := index.FindRelated(named, e.geoms[refID], rc.Rels)
+			// pushRTree prefers the maintained live index over bulk-loading
+			// a transient tree, and honors the context; a filter failure
+			// just falls back to the unpruned loop, which surfaces errors
+			// with their usual context.
+			keep, err := e.pushRTree(ctx, rc, refCand[0], candidates[rc.Left])
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				continue
-			}
-			if selfIn && rc.Rels.Contains(core.B) {
-				keep = append(keep, refID)
-				sort.Strings(keep)
 			}
 			candidates[rc.Left] = keep
 		}
@@ -374,20 +420,6 @@ func comparePct(pct float64, op string, value float64) bool {
 		}
 		return d <= eps
 	}
-}
-
-func intersect(a, b []string) []string {
-	set := map[string]bool{}
-	for _, x := range b {
-		set[x] = true
-	}
-	var out []string
-	for _, x := range a {
-		if set[x] {
-			out = append(out, x)
-		}
-	}
-	return out
 }
 
 func sortBindings(bs []Binding, vars []string) {

@@ -38,6 +38,7 @@ const (
 	tokCmp       // ">=", "<=", ">", "<"
 	tokNumber
 	tokTurnstile // ":-"
+	tokParam     // "$name" — a prepared-query parameter
 )
 
 func (k tokenKind) String() string {
@@ -68,6 +69,8 @@ func (k tokenKind) String() string {
 		return "number"
 	case tokTurnstile:
 		return "':-'"
+	case tokParam:
+		return "parameter"
 	default:
 		return "unknown token"
 	}
@@ -132,6 +135,18 @@ func lex(input string) ([]token, error) {
 				j++
 			}
 			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case c == '$':
+			j := i + 1
+			for j < len(input) && isIdentRune(rune(input[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("query: '$' must introduce a parameter name at offset %d", i)
+			}
+			// The token text keeps the '$' prefix: region ids cannot start
+			// with '$', so downstream code distinguishes parameters by it.
+			toks = append(toks, token{tokParam, input[i:j], i})
 			i = j
 		case isIdentRune(rune(c)):
 			j := i

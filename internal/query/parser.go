@@ -54,6 +54,17 @@ func (p *parser) expect(k tokenKind) (token, error) {
 	return t, nil
 }
 
+// expectValue accepts the right-hand side of a binding or attribute
+// condition: a plain identifier, or a $-parameter to be bound at execution
+// time (see Evaluator.Prepare).
+func (p *parser) expectValue() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokParam {
+		return t, fmt.Errorf("query: expected identifier or parameter at offset %d, found %s", t.pos, describe(t))
+	}
+	return t, nil
+}
+
 func (p *parser) parseQuery() (*Query, error) {
 	// Head: name "(" var ("," var)* ")".
 	if _, err := p.expect(tokIdent); err != nil {
@@ -144,15 +155,15 @@ func (p *parser) parseCond() (Cond, error) {
 		default:
 			return nil, fmt.Errorf("query: expected '=' or '!=' at offset %d, found %s", op.pos, describe(op))
 		}
-		val, err := p.expect(tokIdent)
+		val, err := p.expectValue()
 		if err != nil {
 			return nil, err
 		}
 		return AttrCond{Attr: first.text, Var: v.text, Value: val.text, Negated: neg}, nil
 	case tokEquals:
-		// Binding: var "=" regionID.
+		// Binding: var "=" (regionID | $param).
 		p.next()
-		val, err := p.expect(tokIdent)
+		val, err := p.expectValue()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,603 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"cardirect/internal/core"
+	"cardirect/internal/index"
+)
+
+// This file implements the cost-based query planner. Written-order
+// evaluation (evalWrittenOrder) binds variables and checks conditions in
+// the order the user typed them, so a query leading with its percent
+// condition pays the worst-case join even when a bind or relation condition
+// would prune 99% of candidates. The planner instead:
+//
+//   - estimates per-condition selectivity — bindings pin to one region,
+//     attribute filters are counted exactly against the configuration,
+//     relation conditions with one side pinned are probed through the
+//     relation store's cached row (core.RelationStore.CountRelated) or the
+//     live R-tree (index.EstimateSelect), and percent conditions are
+//     heuristically the most expensive and always scheduled last;
+//   - orders variable binding smallest-candidate-set first, preferring
+//     variables connected to already-ordered ones (joins over cross
+//     products);
+//   - schedules each relation/percent condition at the earliest join depth
+//     where its variables are bound, most selective first, so failing
+//     bindings are cut off as high in the search tree as possible;
+//   - generalises the single-shot indexed pre-filter into pushdown: every
+//     relation condition with one side pinned to a single region filters
+//     the other side's candidate set before the join starts, through the
+//     store row, the live R-tree, or pairwise lookups — including negated
+//     and pinned-primary conditions the old pre-filter skipped.
+//
+// Plans depend only on the query text and the store generation, so they are
+// cacheable (see PlanCache); the per-execution candidate state lives in
+// execState.
+
+// PlanInfo describes, for API consumers, how a query was (or will be)
+// executed: the chosen variable binding order, the scheduled join
+// conditions in check order, the conditions enforced by candidate pushdown
+// before the join, and the candidate-set size per variable entering the
+// join.
+type PlanInfo struct {
+	Order      []string       `json:"order"`
+	Conds      []string       `json:"conds"`
+	Pushed     []string       `json:"pushed,omitempty"`
+	Candidates map[string]int `json:"candidates,omitempty"`
+}
+
+// planCond is one scheduled relation or percent condition.
+type planCond struct {
+	isPct   bool
+	rel     RelCond
+	pct     PctCond
+	condIdx int     // index into Query.Conds, keys execState.enforced
+	sel     float64 // estimated fraction of pairs passing
+}
+
+// Plan is the reusable result of planning one query against one store
+// generation: the variable order and the per-depth condition schedule.
+// Plans are immutable after buildPlan returns and safe to share between
+// goroutines.
+type Plan struct {
+	order []string     // variable binding order
+	pos   map[string]int
+	steps [][]planCond // steps[d]: conds checkable once order[:d+1] is bound
+	rels  []planCond   // every relation condition, most selective first (pushdown order)
+	info  PlanInfo     // Order + Conds; Pushed/Candidates are per-execution
+}
+
+// Info returns the plan's static description (Order and Conds; the
+// execution-dependent Pushed/Candidates fields are empty).
+func (p *Plan) Info() PlanInfo { return p.info }
+
+// selHeuristicRel is the fallback selectivity of a relation condition when
+// neither the store row nor the R-tree can be probed: proportional to how
+// many of the nine single-tile relations the allowed set admits.
+func selHeuristicRel(rels core.RelationSet) float64 {
+	return clampSel(float64(rels.Len()) / 9)
+}
+
+// selHeuristicPct estimates a percent condition from its comparison alone.
+func selHeuristicPct(c PctCond) float64 {
+	switch c.Op {
+	case ">=", ">":
+		if c.Value <= 0 {
+			return 0.95 // pct ≥ 0 holds for every pair
+		}
+		return 0.3
+	case "<=", "<":
+		return 0.7
+	default: // "="
+		return 0.05
+	}
+}
+
+func clampSel(s float64) float64 {
+	if s < 0.01 {
+		return 0.01
+	}
+	if s > 0.99 {
+		return 0.99
+	}
+	return s
+}
+
+// buildPlan plans the query against the evaluator's current configuration.
+// Unresolved parameters are planned conservatively (a parameter binding
+// still pins its variable; a parameter attribute value gets a default
+// selectivity) so one plan serves every argument set.
+func (e *Evaluator) buildPlan(q *Query) *Plan {
+	n := len(e.ids)
+	if n == 0 {
+		n = 1
+	}
+	est := make(map[string]float64, len(q.Vars))
+	pinnedID := make(map[string]string, len(q.Vars))
+	for _, v := range q.Vars {
+		est[v] = float64(n)
+	}
+
+	// Pass 1: bindings and attribute filters shrink their variable's
+	// estimate directly.
+	for _, c := range q.Conds {
+		switch cc := c.(type) {
+		case BindCond:
+			est[cc.Var] = 1
+			if !isParam(cc.RegionID) {
+				pinnedID[cc.Var] = cc.RegionID
+			}
+		case AttrCond:
+			sel := 0.5
+			fn, ok := e.attrs[cc.Attr]
+			if ok && !isParam(cc.Value) {
+				match := 0
+				for _, id := range e.ids {
+					if r := e.regs[id]; r != nil && fn(r) == cc.Value {
+						match++
+					}
+				}
+				sel = clampSel(float64(match) / float64(n))
+				if cc.Negated {
+					sel = 1 - sel
+				}
+			}
+			est[cc.Var] *= sel
+		}
+	}
+
+	// Pass 2: relation conditions. With one side pinned to a known region
+	// the selectivity is probed — exactly through the store's cached row,
+	// or as an MBB upper bound through the live R-tree — and shrinks the
+	// free side's estimate; otherwise a tile-count heuristic orders the
+	// condition among its peers.
+	var conds []planCond
+	for i, c := range q.Conds {
+		switch cc := c.(type) {
+		case RelCond:
+			sel := selHeuristicRel(cc.Rels)
+			if cc.Negated {
+				sel = clampSel(1 - sel)
+			}
+			free := ""
+			if pin, ok := pinnedID[cc.Right]; ok && pinnedID[cc.Left] == "" {
+				sel = e.probeSel(pin, cc, true)
+				free = cc.Left
+			} else if pin, ok := pinnedID[cc.Left]; ok && pinnedID[cc.Right] == "" {
+				sel = e.probeSel(pin, cc, false)
+				free = cc.Right
+			}
+			if free != "" {
+				est[free] *= sel
+			}
+			conds = append(conds, planCond{rel: cc, condIdx: i, sel: sel})
+		case PctCond:
+			conds = append(conds, planCond{isPct: true, pct: cc, condIdx: i, sel: selHeuristicPct(cc)})
+		}
+	}
+
+	// Variable order: greedily take the smallest estimated candidate set,
+	// discounting variables joined to already-ordered ones — following a
+	// join edge prunes through scheduled conditions, a cross product
+	// cannot. Ties keep head order, so plans are deterministic.
+	order := make([]string, 0, len(q.Vars))
+	chosen := make(map[string]bool, len(q.Vars))
+	for len(order) < len(q.Vars) {
+		best := -1
+		var bestScore float64
+		for i, v := range q.Vars {
+			if chosen[v] {
+				continue
+			}
+			links := 0
+			for _, pc := range conds {
+				var l, r string
+				if pc.isPct {
+					l, r = pc.pct.Left, pc.pct.Right
+				} else {
+					l, r = pc.rel.Left, pc.rel.Right
+				}
+				if (l == v && chosen[r]) || (r == v && chosen[l]) {
+					links++
+				}
+			}
+			score := est[v] / math.Pow(4, float64(links))
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		chosen[q.Vars[best]] = true
+		order = append(order, q.Vars[best])
+	}
+
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+
+	// Schedule each condition at the first depth where both variables are
+	// bound; within a depth, qualitative before quantitative, then most
+	// selective first, then written order.
+	steps := make([][]planCond, len(order))
+	for _, pc := range conds {
+		var l, r string
+		if pc.isPct {
+			l, r = pc.pct.Left, pc.pct.Right
+		} else {
+			l, r = pc.rel.Left, pc.rel.Right
+		}
+		d := pos[l]
+		if pos[r] > d {
+			d = pos[r]
+		}
+		steps[d] = append(steps[d], pc)
+	}
+	for d := range steps {
+		sort.SliceStable(steps[d], func(i, j int) bool {
+			a, b := steps[d][i], steps[d][j]
+			if a.isPct != b.isPct {
+				return !a.isPct
+			}
+			if a.sel != b.sel {
+				return a.sel < b.sel
+			}
+			return a.condIdx < b.condIdx
+		})
+	}
+
+	// Pushdown order: every relation condition, most selective first.
+	// Eligibility (exactly one side pinned at runtime) is re-checked per
+	// execution, because parameters change which side is pinned.
+	rels := make([]planCond, 0, len(conds))
+	for _, pc := range conds {
+		if !pc.isPct {
+			rels = append(rels, pc)
+		}
+	}
+	sort.SliceStable(rels, func(i, j int) bool { return rels[i].sel < rels[j].sel })
+
+	info := PlanInfo{Order: order}
+	for _, step := range steps {
+		for _, pc := range step {
+			if pc.isPct {
+				info.Conds = append(info.Conds, pc.pct.String())
+			} else {
+				info.Conds = append(info.Conds, pc.rel.String())
+			}
+		}
+	}
+	return &Plan{order: order, pos: pos, steps: steps, rels: rels, info: info}
+}
+
+// probeSel estimates the selectivity of a relation condition whose pinned
+// side is the known region pin: exact through the store's cached row when
+// the store holds pin, an MBB upper bound through the live R-tree when the
+// pinned side is the reference, and the tile-count heuristic otherwise.
+func (e *Evaluator) probeSel(pin string, cc RelCond, pinnedIsRef bool) float64 {
+	if e.store != nil && e.store.Has(pin) {
+		if matched, total, err := e.store.CountRelated(pin, cc.Rels, pinnedIsRef); err == nil && total > 0 {
+			sel := float64(matched) / float64(total)
+			if cc.Negated {
+				sel = 1 - sel
+			}
+			return clampSel(sel)
+		}
+	}
+	if e.live != nil && pinnedIsRef && !cc.Negated && e.live.Has(pin) {
+		if g, ok := e.geoms[pin]; ok {
+			if st, err := index.EstimateSelect(e.live.Tree(), g, cc.Rels); err == nil && st.Total > 0 {
+				return clampSel(float64(st.MBBMatched) / float64(st.Total))
+			}
+		}
+	}
+	sel := selHeuristicRel(cc.Rels)
+	if cc.Negated {
+		sel = clampSel(1 - sel)
+	}
+	return sel
+}
+
+// execState is the per-execution companion of a Plan: the post-pushdown
+// candidate sets and the conditions pushdown already enforced. For
+// parameter-free queries it depends only on the plan and the store
+// generation, so the plan cache retains it and warm executions skip
+// straight to the join. It is immutable after prepareExec returns.
+type execState struct {
+	cand     map[string][]string
+	enforced []bool // by Query.Conds index: fully enforced before the join
+	pushed   []string
+}
+
+// buildCandidates computes the initial per-variable candidate sets from the
+// bind and attribute conditions — shared verbatim between the planner and
+// written-order evaluation so both report identical errors. Candidate
+// slices are always sorted.
+func (e *Evaluator) buildCandidates(q *Query) (map[string][]string, error) {
+	candidates := make(map[string][]string, len(q.Vars))
+	for _, v := range q.Vars {
+		cand := e.ids
+		for _, c := range q.Conds {
+			switch cc := c.(type) {
+			case BindCond:
+				if cc.Var == v {
+					if e.regs[cc.RegionID] == nil {
+						return nil, fmt.Errorf("query: unknown region %q in %v", cc.RegionID, cc)
+					}
+					cand = intersectSorted(cand, []string{cc.RegionID})
+				}
+			case AttrCond:
+				if cc.Var != v {
+					continue
+				}
+				fn, ok := e.attrs[cc.Attr]
+				if !ok {
+					return nil, fmt.Errorf("query: unknown attribute %q in %v", cc.Attr, cc)
+				}
+				var keep []string
+				for _, id := range cand {
+					if (fn(e.regs[id]) == cc.Value) != cc.Negated {
+						keep = append(keep, id)
+					}
+				}
+				cand = keep
+			}
+		}
+		candidates[v] = cand
+	}
+	return candidates, nil
+}
+
+// prepareExec builds the execution state for a resolved query: initial
+// candidates from bindings and attribute filters, then relation-condition
+// pushdown in selectivity order. q must be parameter-free (resolve first).
+func (e *Evaluator) prepareExec(ctx context.Context, q *Query, plan *Plan) (*execState, error) {
+	candidates, err := e.buildCandidates(q)
+	if err != nil {
+		return nil, err
+	}
+	ex := &execState{cand: candidates, enforced: make([]bool, len(q.Conds))}
+	for _, pc := range plan.rels {
+		// The planned conditions may carry unresolved parameters; the
+		// resolved query's condition at the same index is concrete.
+		rc, ok := q.Conds[pc.condIdx].(RelCond)
+		if !ok {
+			continue
+		}
+		var pinnedVar, freeVar string
+		var pinnedIsRef bool
+		switch {
+		case len(candidates[rc.Right]) == 1 && len(candidates[rc.Left]) >= 2:
+			pinnedVar, freeVar, pinnedIsRef = rc.Right, rc.Left, true
+		case len(candidates[rc.Left]) == 1 && len(candidates[rc.Right]) >= 2:
+			pinnedVar, freeVar, pinnedIsRef = rc.Left, rc.Right, false
+		default:
+			continue
+		}
+		pinID := candidates[pinnedVar][0]
+		keep, err := e.pushCond(ctx, rc, pinID, pinnedIsRef, candidates[freeVar])
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Any other pushdown failure falls back to the unpruned join,
+			// which surfaces errors with their usual context.
+			continue
+		}
+		candidates[freeVar] = keep
+		ex.enforced[pc.condIdx] = true
+		ex.pushed = append(ex.pushed, rc.String())
+	}
+	return ex, nil
+}
+
+// pushCond filters cand down to the ids satisfying the relation condition
+// against the pinned region, choosing the cheapest sound strategy:
+//
+//   - store present and holding pin → pairwise lookups through the cached
+//     relation matrix (O(1) each, handles negation and either pinned side);
+//   - pinned reference, positive condition, no materialised relations →
+//     R-tree window queries with exact refinement, through the maintained
+//     live index when available, or a transient bulk-loaded tree;
+//   - otherwise → pairwise lookups through Relation, which prefers
+//     materialised relations and caches geometry per ordered pair.
+//
+// All strategies return exactly the ids the join's own checks would keep
+// (the l==r candidate follows the "a region is only B of itself" rule), so
+// pushdown never changes results.
+func (e *Evaluator) pushCond(ctx context.Context, rc RelCond, pinID string, pinnedIsRef bool, cand []string) ([]string, error) {
+	storeBacked := e.store != nil && e.store.Has(pinID)
+	if !storeBacked && pinnedIsRef && !rc.Negated && len(e.img.Relations) == 0 {
+		if keep, err := e.pushRTree(ctx, rc, pinID, cand); err == nil {
+			return keep, nil
+		} else if ctx.Err() != nil {
+			return nil, err
+		}
+		// R-tree failure (degenerate geometry) falls through to the
+		// pairwise path, which reports the error in join form.
+	}
+	keep := make([]string, 0, len(cand))
+	for _, id := range cand {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var rel core.Relation
+		if id == pinID {
+			rel = core.B
+		} else {
+			var err error
+			if pinnedIsRef {
+				rel, err = e.Relation(id, pinID)
+			} else {
+				rel, err = e.Relation(pinID, id)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if rc.Rels.Contains(rel) != rc.Negated {
+			keep = append(keep, id)
+		}
+	}
+	return keep, nil
+}
+
+// pushRTree answers a positive pinned-reference pushdown through window
+// queries: the maintained live index when it covers every candidate, a
+// transient bulk-loaded tree otherwise.
+func (e *Evaluator) pushRTree(ctx context.Context, rc RelCond, refID string, cand []string) ([]string, error) {
+	if e.live != nil && e.live.Has(refID) {
+		covered := true
+		for _, id := range cand {
+			if !e.live.Has(id) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			sel, _, err := e.live.SelectStatsCtx(ctx, e.geoms[refID], rc.Rels)
+			if err != nil {
+				return nil, err
+			}
+			// The live index holds every region; narrow to the candidates.
+			// The reference is B of itself, so refID's membership in sel
+			// already matches the l==r rule.
+			return intersectSorted(cand, sel), nil
+		}
+	}
+	named := make([]core.NamedRegion, 0, len(cand))
+	selfIn := false
+	for _, id := range cand {
+		if id == refID {
+			selfIn = true // handled by the l==r rule, not geometry
+			continue
+		}
+		named = append(named, core.NamedRegion{Name: id, Region: e.geoms[id]})
+	}
+	keep, err := index.FindRelatedCtx(ctx, named, e.geoms[refID], rc.Rels)
+	if err != nil {
+		return nil, err
+	}
+	if selfIn && rc.Rels.Contains(core.B) {
+		keep = append(keep, refID)
+		sort.Strings(keep)
+	}
+	return keep, nil
+}
+
+// runJoin executes the planned backtracking join: variables bind in plan
+// order, and each condition is checked exactly once, at the first depth
+// where its variables are bound, unless pushdown already enforced it.
+// Semantics match evalWrittenOrder: a variable pair bound to the same
+// region is B of itself (100% in tile B), and bindings are returned sorted
+// by the head variables.
+func (e *Evaluator) runJoin(ctx context.Context, q *Query, plan *Plan, ex *execState) ([]Binding, error) {
+	var out []Binding
+	assign := make(map[string]string, len(plan.order))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i == len(plan.order) {
+			b := make(Binding, len(assign))
+			for k, v := range assign {
+				b[k] = v
+			}
+			out = append(out, b)
+			return nil
+		}
+		v := plan.order[i]
+		for _, id := range ex.cand[v] {
+			assign[v] = id
+			ok := true
+			for _, pc := range plan.steps[i] {
+				if ex.enforced[pc.condIdx] {
+					continue
+				}
+				if pc.isPct {
+					l, r := assign[pc.pct.Left], assign[pc.pct.Right]
+					var pct float64
+					if l == r {
+						if pc.pct.Tile == core.TileB {
+							pct = 100 // a region is 100% B of itself
+						}
+					} else {
+						m, err := e.Percent(l, r)
+						if err != nil {
+							return err
+						}
+						pct = m.Get(pc.pct.Tile)
+					}
+					if !comparePct(pct, pc.pct.Op, pc.pct.Value) {
+						ok = false
+					}
+				} else {
+					l, r := assign[pc.rel.Left], assign[pc.rel.Right]
+					var rel core.Relation
+					if l == r {
+						rel = core.B // a region is only B of itself
+					} else {
+						var err error
+						rel, err = e.Relation(l, r)
+						if err != nil {
+							return err
+						}
+					}
+					if pc.rel.Rels.Contains(rel) == pc.rel.Negated {
+						ok = false
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			delete(assign, v)
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sortBindings(out, q.Vars)
+	return out, nil
+}
+
+// intersectSorted intersects two ascending sorted string slices with a
+// single merge pass and one allocation — the hot set operation of candidate
+// propagation and pushdown.
+func intersectSorted(a, b []string) []string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The read endpoints over cached store state — /api/relation, /api/select
+// and /api/query — are validatable: their responses depend only on the
+// request and the relation store's edit generation, so the generation
+// doubles as a strong ETag. A repeat reader sends If-None-Match with the
+// tag it last saw and, while no edit has landed, gets 304 Not Modified
+// without the server evaluating anything.
+//
+// The tag is always computed BEFORE the data is read. Under a concurrent
+// edit that order can hand out a stale tag with fresher data — which only
+// costs the client one extra revalidation; the reverse order could validate
+// stale data as current, which would be wrong.
+
+// storeETag renders the current store generation as a strong entity tag.
+func (s *Server) storeETag() string {
+	return fmt.Sprintf("\"g%d\"", s.tr.Store().Generation())
+}
+
+// etagMatch implements the If-None-Match comparison: a comma-separated
+// list of entity tags, "*" matching anything, weak prefixes compared
+// weakly (RFC 9110 §8.8.3.2).
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// conditional stamps the response with the generation ETag and reports
+// whether the request's If-None-Match already matches it — in which case
+// it has written 304 Not Modified and the handler must not produce a body.
+func (s *Server) conditional(w http.ResponseWriter, r *http.Request) (string, bool) {
+	etag := s.storeETag()
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+		metrics.Add("etag_304s", 1)
+		w.WriteHeader(http.StatusNotModified)
+		return etag, true
+	}
+	return etag, false
+}

@@ -275,6 +275,9 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
 	if p == "" || q == "" {
 		return failf(http.StatusBadRequest, "serve: missing primary or reference parameter")
 	}
+	if _, done := s.conditional(w, r); done {
+		return nil
+	}
 	store := s.tr.Store()
 	rel, err := store.Relation(p, q)
 	if err != nil {
@@ -417,6 +420,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	if _, done := s.conditional(w, r); done {
+		return nil
+	}
 	out := selectResponse{Reference: refID, Relation: allowed.String(), Matches: []string{}}
 	err = s.tr.View(func(img *config.Image) error {
 		reg := img.FindRegion(refID)
@@ -451,17 +457,30 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) error {
 
 type queryRequest struct {
 	Q string `json:"q"`
+	// Args binds the query's $-parameters, e.g. {"start": "attica"} for
+	// "x = $start". Parameterised texts share one cached plan.
+	Args map[string]string `json:"args,omitempty"`
 }
 
 type queryResponse struct {
 	Vars     []string            `json:"vars"`
 	Bindings []map[string]string `json:"bindings"`
+	// Plan describes how the planner executed the query: variable order,
+	// scheduled conditions, pushed-down conditions, candidate-set sizes.
+	Plan *query.PlanInfo `json:"plan,omitempty"`
+	// Cache reports the plan cache outcome: "hit", "miss" or "replan".
+	Cache string `json:"cache,omitempty"`
+	// Generation is the store edit generation the evaluation ran against
+	// (also served as the response's ETag).
+	Generation uint64 `json:"generation"`
 }
 
 // handleQuery evaluates a conjunctive query of the paper's language over
 // the tracked configuration. The evaluator reads relations from the
-// delta-maintained store (never recomputing geometry for cached pairs) and
-// the join loop honors the request context.
+// delta-maintained store (never recomputing geometry for cached pairs),
+// plans the join through the server's shared plan cache, and honors the
+// request context. Responses carry the store generation as an ETag, so a
+// repeat reader holding If-None-Match skips evaluation with a 304.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	var req queryRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -470,22 +489,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if req.Q == "" {
 		return failf(http.StatusBadRequest, "serve: missing query (q)")
 	}
-	q, err := query.Parse(req.Q)
-	if err != nil {
-		return err
+	if _, done := s.conditional(w, r); done {
+		return nil
 	}
-	out := queryResponse{Vars: q.Vars, Bindings: []map[string]string{}}
-	err = s.tr.View(func(img *config.Image) error {
+	out := queryResponse{Bindings: []map[string]string{}}
+	err := s.tr.View(func(img *config.Image) error {
 		ev, err := query.NewEvaluator(img)
 		if err != nil {
 			return err
 		}
 		ev.UseStore(s.tr.Store())
-		bindings, err := ev.EvalCtx(r.Context(), q)
+		ev.UseIndex(s.tr.Index())
+		ev.SetPlanCache(s.plans)
+		res, err := ev.Run(r.Context(), req.Q, req.Args)
 		if err != nil {
 			return err
 		}
-		for _, b := range bindings {
+		out.Vars = res.Vars
+		out.Plan = res.Plan
+		out.Cache = res.Cache
+		out.Generation = res.Generation
+		for _, b := range res.Bindings {
 			out.Bindings = append(out.Bindings, map[string]string(b))
 		}
 		return nil

@@ -26,6 +26,7 @@ import (
 	"cardirect/internal/config"
 	"cardirect/internal/geom"
 	"cardirect/internal/persist"
+	"cardirect/internal/query"
 )
 
 // Editor is the mutation surface the region edit endpoints write through.
@@ -62,11 +63,12 @@ type Options struct {
 
 // Server serves the cardirectd API over one tracked configuration.
 type Server struct {
-	tr   *config.Tracked
-	edit Editor
-	opt  Options
-	log  *slog.Logger
-	mux  *http.ServeMux
+	tr    *config.Tracked
+	edit  Editor
+	opt   Options
+	log   *slog.Logger
+	mux   *http.ServeMux
+	plans *query.PlanCache
 }
 
 // metrics is the process-wide expvar surface, published under "cardirectd":
@@ -84,7 +86,11 @@ func New(tr *config.Tracked, opt Options) *Server {
 	if opt.Logger == nil {
 		opt.Logger = slog.Default()
 	}
-	s := &Server{tr: tr, edit: tr, opt: opt, log: opt.Logger, mux: http.NewServeMux()}
+	s := &Server{tr: tr, edit: tr, opt: opt, log: opt.Logger, mux: http.NewServeMux(),
+		// One plan cache for the whole server: request-scoped evaluators
+		// share it, so repeated query texts skip parsing and planning.
+		// Entries self-invalidate against the store generation.
+		plans: query.NewPlanCache(256)}
 	if opt.Persist != nil {
 		s.edit = opt.Persist
 	}
@@ -93,10 +99,14 @@ func New(tr *config.Tracked, opt Options) *Server {
 	// the last one wins, which matches the one-server production shape.
 	metrics.Set("store", expvar.Func(func() any {
 		return map[string]any{
-			"regions": tr.Store().Len(),
-			"stats":   tr.Store().Stats(),
+			"regions":    tr.Store().Len(),
+			"generation": tr.Store().Generation(),
+			"stats":      tr.Store().Stats(),
 		}
 	}))
+	metrics.Set("plan_cache_hits", expvar.Func(func() any { return s.plans.Stats().Hits }))
+	metrics.Set("plan_cache_misses", expvar.Func(func() any { return s.plans.Stats().Misses }))
+	metrics.Set("replans", expvar.Func(func() any { return s.plans.Stats().Replans }))
 	if p := opt.Persist; p != nil {
 		metrics.Set("persist", expvar.Func(func() any {
 			st := p.Status()
