@@ -39,6 +39,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal
 	$(GO) test -run='^$$' -fuzz=FuzzParsePct -fuzztime=10s ./internal/config
 	$(GO) test -run='^$$' -fuzz=FuzzPlannerDifferential -fuzztime=10s ./internal/query
+	$(GO) test -run='^$$' -fuzz=FuzzLoDDifferential -fuzztime=10s ./internal/core
 
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:
@@ -49,8 +50,9 @@ bench:
 bench-short:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
-# Regression gate over the raw-speed suite (E21) and the query-planner
-# suite (E22): re-measure and compare against the committed baselines;
+# Regression gate over the raw-speed suite (E21), the query-planner
+# suite (E22) and the huge-world tier (E23): re-measure and compare
+# against the committed baselines;
 # timing metrics may not grow — and speedups may not shrink — by more
 # than TREND_THRESHOLD (fraction). CI runs the quick flavour against
 # BENCH_*_quick.json; a full local run compares against the full
@@ -66,19 +68,26 @@ TREND_THRESHOLD ?= 0.5
 bench-trend:
 	$(GO) run ./cmd/cdrbench -quick -only E21 -compare baselines/BENCH_E21_quick.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -quick -only E22 -compare baselines/BENCH_E22_quick.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -quick -only E23 -compare baselines/BENCH_E23_quick.json -threshold $(TREND_THRESHOLD)
 
-# Full-size trend checks (minutes, not seconds).
+# Full-size trend checks (minutes, not seconds). The full E23 run also
+# asserts the huge-world acceptance floor (>=10x on 10^5 regions) inside
+# the experiment itself.
 bench-trend-full:
 	$(GO) run ./cmd/cdrbench -only E21 -compare baselines/BENCH_E21.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -only E22 -compare baselines/BENCH_E22.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -only E23 -compare baselines/BENCH_E23.json -threshold $(TREND_THRESHOLD)
 
 # Re-record the committed baselines (run on a quiet machine, then commit
-# baselines/*.json).
+# baselines/*.json). -json writes straight into baselines/, with a _quick
+# suffix for quick runs.
 bench-baseline:
-	$(GO) run ./cmd/cdrbench -quick -only E21 -json && mv BENCH_E21.json baselines/BENCH_E21_quick.json
-	$(GO) run ./cmd/cdrbench -only E21 -json && mv BENCH_E21.json baselines/BENCH_E21.json
-	$(GO) run ./cmd/cdrbench -quick -only E22 -json && mv BENCH_E22.json baselines/BENCH_E22_quick.json
-	$(GO) run ./cmd/cdrbench -only E22 -json && mv BENCH_E22.json baselines/BENCH_E22.json
+	$(GO) run ./cmd/cdrbench -quick -only E21 -json
+	$(GO) run ./cmd/cdrbench -only E21 -json
+	$(GO) run ./cmd/cdrbench -quick -only E22 -json
+	$(GO) run ./cmd/cdrbench -only E22 -json
+	$(GO) run ./cmd/cdrbench -quick -only E23 -json
+	$(GO) run ./cmd/cdrbench -only E23 -json
 
 experiments:
 	$(GO) run ./cmd/cdrbench -quick

@@ -309,6 +309,23 @@ type (
 	RelationStore = core.RelationStore
 	// StoreOptions tunes a RelationStore (worker count, percent caching).
 	StoreOptions = core.StoreOptions
+	// LoDWorld is the huge-world tier over a prepared region set: a
+	// coarse-tile relation summary answering clearly-single-tile pairs
+	// O(1), per-region level-of-detail geometry (strip indexes and
+	// error-bounded simplifications) for the rest, and the exact kernel
+	// as the fallback. Every answer is bit-identical to the exact kernel.
+	LoDWorld = core.LoDWorld
+	// LoDOptions tunes LoDWorld construction (coarse grid resolution,
+	// simplification tolerances).
+	LoDOptions = core.LoDOptions
+	// CoarseIndex is the standalone coarse-tile summary: bounding boxes
+	// quantised to a cell grid, O(1) single-tile pair answers and planner
+	// selectivity estimates.
+	CoarseIndex = core.CoarseIndex
+	// BulkRegion is one entry of a streamed bulk ingest into a tracked
+	// configuration (Tracked.BulkAddRegions): the whole batch lands as
+	// one edit with a single batched recomputation.
+	BulkRegion = config.BulkRegion
 	// Tracked binds a configuration document to a maintained RelationStore
 	// and live R-tree: document edits drive store and index deltas.
 	Tracked = config.Tracked
@@ -376,6 +393,21 @@ var (
 	TrackSeeded = config.TrackSeeded
 	// NewLiveIndex builds a maintained R-tree over named regions.
 	NewLiveIndex = index.NewLive
+	// PrepareLoDWorld builds the huge-world tier over a named region set:
+	// packed grids and centers, a coarse-tile summary, and lazy per-region
+	// LoD geometry. Answers through LoDWorld.Relation / BatchRows are
+	// bit-identical to the exact kernel (fuzzed: FuzzLoDDifferential).
+	PrepareLoDWorld = core.PrepareLoDWorld
+	// NewCoarseIndex summarises bounding boxes on a cell grid for O(1)
+	// single-tile pair answers and planner selectivity probes.
+	NewCoarseIndex = core.NewCoarseIndex
+	// SimplifyPolygon is anchored Douglas–Peucker simplification with a
+	// hard two-sided Hausdorff bound eps and the bounding box preserved
+	// exactly (extreme vertices are anchored).
+	SimplifyPolygon = geom.SimplifyPolygon
+	// SimplifyRegion applies SimplifyPolygon to each polygon of a region;
+	// the guarantees are per-polygon.
+	SimplifyRegion = geom.SimplifyRegion
 )
 
 // Durable persistence (write-ahead log + snapshots + crash recovery).

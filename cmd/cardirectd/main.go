@@ -63,6 +63,7 @@ func run(args []string, stdout *os.File) error {
 		workers         = fs.Int("workers", 0, "worker-pool size for batch and delta recomputation (0 = GOMAXPROCS)")
 		requestTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = none)")
 		maxBody         = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
+		maxBulk         = fs.Int64("max-bulk", 64<<20, "POST /api/bulk body size limit in bytes (NDJSON streams)")
 		shutdownTimeout = fs.Duration("shutdown-timeout", 10*time.Second, "graceful shutdown drain budget")
 		jsonLogs        = fs.Bool("log-json", false, "emit JSON logs instead of text")
 		dataDir         = fs.String("data", "", "data directory for durable operation (snapshot + write-ahead log)")
@@ -133,6 +134,7 @@ func run(args []string, stdout *os.File) error {
 
 	srv := serve.New(tr, serve.Options{
 		MaxBodyBytes:   *maxBody,
+		MaxBulkBytes:   *maxBulk,
 		RequestTimeout: *requestTimeout,
 		Workers:        *workers,
 		Logger:         logger,

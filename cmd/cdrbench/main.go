@@ -17,15 +17,18 @@
 //	E20    incremental relation store: single-edit delta vs full recompute
 //	E21    raw-speed suite: SoA kernel, binary recovery, HTTP tail latency
 //	E22    cost-based query planner vs written order; plan cache warm vs cold
+//	E23    huge-world tier: LoD stack vs exact-only; streamed bulk ingest
 //
 // Usage:
 //
-//	cdrbench [-quick] [-seed N] [-only E9] [-json] [-compare BASELINE.json] [-threshold 0.15]
+//	cdrbench [-quick] [-seed N] [-only E9] [-json] [-out DIR] [-compare BASELINE.json] [-threshold 0.15]
 //
 // With -json, each experiment that reports machine-readable metrics also
-// writes them to BENCH_<id>.json in the current directory (ns/op, allocs/op,
-// prune rates), stamped with the run environment (Go version, GOMAXPROCS,
-// GOOS/GOARCH, VCS revision) for CI trend tracking.
+// writes them to BENCH_<id>.json — BENCH_<id>_quick.json for -quick runs —
+// under -out (default baselines/, the committed-baseline directory; "." for
+// the old scatter-into-cwd behaviour). Each file carries the metrics
+// (ns/op, allocs/op, prune rates) stamped with the run environment (Go
+// version, GOMAXPROCS, GOOS/GOARCH, VCS revision) for CI trend tracking.
 //
 // With -compare, each experiment's metrics are additionally checked against
 // the named baseline JSON: timing metrics (keys ending in _ns, _us or _ms)
@@ -41,6 +44,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -62,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 20040314, "workload seed")
 	only := fs.String("only", "", "run a single experiment id (e.g. E9 or E4-E5)")
 	jsonOut := fs.Bool("json", false, "write BENCH_<id>.json per experiment with metrics")
+	outDir := fs.String("out", "baselines", "directory for -json output files")
 	compare := fs.String("compare", "", "baseline BENCH_<id>.json to check metrics against")
 	threshold := fs.Float64("threshold", 0.15, "allowed fractional regression vs -compare baseline")
 	if err := fs.Parse(args); err != nil {
@@ -90,7 +95,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "== %s: %s ==\n%s\n", r.ID, r.Title, r.Body)
 		if *jsonOut && len(r.Metrics) > 0 {
-			if err := writeBenchJSON(r, *quick); err != nil {
+			if err := writeBenchJSON(*outDir, r, *quick); err != nil {
 				return fmt.Errorf("experiment %s: %w", e.ID, err)
 			}
 		}
@@ -130,10 +135,12 @@ type benchFile struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// writeBenchJSON serialises one experiment's metrics to BENCH_<id>.json.
-// The id is sanitised for the filesystem (E1-E3 → BENCH_E1-E3.json is fine;
-// anything stranger degrades to underscores).
-func writeBenchJSON(r experiments.Report, quick bool) error {
+// writeBenchJSON serialises one experiment's metrics to
+// dir/BENCH_<id>.json (BENCH_<id>_quick.json for quick runs, so full and
+// quick baselines coexist). The id is sanitised for the filesystem
+// (E1-E3 → BENCH_E1-E3.json is fine; anything stranger degrades to
+// underscores); the directory is created if missing.
+func writeBenchJSON(dir string, r experiments.Report, quick bool) error {
 	id := strings.Map(func(c rune) rune {
 		switch {
 		case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
@@ -156,7 +163,14 @@ func writeBenchJSON(r experiments.Report, quick bool) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile("BENCH_"+id+".json", append(data, '\n'), 0o644)
+	name := "BENCH_" + id + ".json"
+	if quick {
+		name = "BENCH_" + id + "_quick.json"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
 }
 
 func readBenchJSON(path string) (*benchFile, error) {

@@ -62,16 +62,17 @@ func TestJSONFlagWritesMetrics(t *testing.T) {
 	}
 	defer os.Chdir(wd)
 
-	// Direct serialisation of a metrics-bearing report.
+	// Direct serialisation of a metrics-bearing report. Quick runs get a
+	// _quick filename suffix and the output directory is created.
 	r := experiments.Report{
 		ID:      "E99-test",
 		Title:   "fixture",
 		Metrics: map[string]float64{"ns_per_op": 12.5, "allocs_per_op": 0},
 	}
-	if err := writeBenchJSON(r, true); err != nil {
+	if err := writeBenchJSON("out", r, true); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile("BENCH_E99-test.json")
+	data, err := os.ReadFile("out/BENCH_E99-test_quick.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,8 @@ func TestJSONFlagWritesMetrics(t *testing.T) {
 		t.Errorf("environment stamp incomplete: %+v", got)
 	}
 
-	// A metrics-free experiment with -json writes no file.
+	// A metrics-free experiment with -json writes no file (not even the
+	// default -out directory).
 	var out bytes.Buffer
 	if err := run([]string{"-json", "-only", "E9"}, &out); err != nil {
 		t.Fatal(err)
@@ -98,7 +100,7 @@ func TestJSONFlagWritesMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if e.Name() != "BENCH_E99-test.json" {
+		if e.Name() != "out" {
 			t.Errorf("unexpected file %q", e.Name())
 		}
 	}

@@ -233,6 +233,60 @@ func (tr *Tracked) SetRegionGeometry(id string, g geom.Region) error {
 	return tr.err
 }
 
+// BulkRegion is one region of a bulk ingest (Tracked.BulkAddRegions).
+type BulkRegion struct {
+	ID, Name, Color string
+	Geometry        geom.Region
+}
+
+// BulkAddRegions ingests many regions as one edit: every region is
+// validated first (empty or duplicate id, invalid geometry — the same
+// checks as Image.AddRegion — leave everything unchanged), then the
+// relation store advances through ONE batched recomputation
+// (core.RelationStore.AddBulk) instead of per-region 2(n−1) deltas, and
+// the document and R-tree follow. The document mutation is applied
+// directly rather than through Image.AddRegion, so Image watchers other
+// than the Tracked itself are NOT notified per region — the store and
+// index are updated here, batched.
+func (tr *Tracked) BulkAddRegions(regions []BulkRegion) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.err != nil {
+		return tr.err
+	}
+	if len(regions) == 0 {
+		return nil
+	}
+	batch := make(map[string]bool, len(regions))
+	named := make([]core.NamedRegion, len(regions))
+	for i, r := range regions {
+		if r.ID == "" {
+			return fmt.Errorf("config: empty region id")
+		}
+		if batch[r.ID] || tr.img.FindRegion(r.ID) != nil {
+			return fmt.Errorf("config: region %q: %w", r.ID, ErrDuplicateRegion)
+		}
+		batch[r.ID] = true
+		if err := r.Geometry.Validate(); err != nil {
+			return fmt.Errorf("config: region %q: %w", r.ID, err)
+		}
+		named[i] = core.NamedRegion{Name: r.ID, Region: r.Geometry}
+	}
+	// Store first: it is the only step that can still reject (e.g. zero
+	// area under StoreOptions.Pct), and a rejection must leave the
+	// document untouched.
+	if err := tr.store.AddBulk(named); err != nil {
+		return err
+	}
+	for _, r := range regions {
+		reg := Region{ID: r.ID, Name: r.Name, Color: r.Color}
+		reg.SetGeometry(r.Geometry)
+		tr.img.Regions = append(tr.img.Regions, reg)
+		tr.fail(tr.idx.Add(r.ID, r.Geometry))
+	}
+	return tr.err
+}
+
 // fail latches the first delta failure.
 func (tr *Tracked) fail(err error) {
 	if tr.err == nil && err != nil {

@@ -31,6 +31,21 @@ type Stats struct {
 	// recomputations (2(n−1) per Add/SetGeometry edit); the initial build
 	// and the batch engines leave it zero.
 	DeltaPairs int
+
+	// BulkBatches counts batched recomputations performed by
+	// RelationStore.AddBulk — one per bulk ingest, regardless of how many
+	// regions arrive, where the per-region edit path would have paid a
+	// 2(n−1)-pair delta each (see DeltaPairs).
+	BulkBatches int
+
+	// LoD-tier counters (see LoD, LoDWorld): pairs answered from the
+	// coarse cell-span summary in O(1), from the simplified geometry under
+	// the error-band clearance proof, and pairs that fell through to the
+	// exact kernel.
+	CoarseSingleTile int // coarse cell spans decided a single-tile pair
+	LoDSimplified    int // simplified boundary decided the pair (bracket held)
+	LoDStrip         int // strip-localised exact stage decided the pair
+	LoDExact         int // both LoD stages passed: full exact-kernel fallback
 }
 
 // Merge adds the counters of other into st; the batch engine uses it to
@@ -47,6 +62,11 @@ func (st *Stats) Merge(other Stats) {
 	st.PrunePctTile += other.PrunePctTile
 	st.PrunePctPoly += other.PrunePctPoly
 	st.DeltaPairs += other.DeltaPairs
+	st.BulkBatches += other.BulkBatches
+	st.CoarseSingleTile += other.CoarseSingleTile
+	st.LoDSimplified += other.LoDSimplified
+	st.LoDStrip += other.LoDStrip
+	st.LoDExact += other.LoDExact
 }
 
 // ComputeCDR implements Algorithm Compute-CDR (Fig. 5 of the paper): it

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"cardirect/internal/geom"
+)
+
+// lodNoisyRegion builds a random region for differential testing: one to
+// three star-shaped polygons with many radially-noisy vertices (so the
+// simplifier has real work) placed at random centers and scales. Rings are
+// simple by construction (strictly increasing angle, positive radius).
+func lodNoisyRegion(rng *rand.Rand) geom.Region {
+	polys := 1 + rng.Intn(3)
+	var r geom.Region
+	for p := 0; p < polys; p++ {
+		cx := rng.Float64()*200 - 100
+		cy := rng.Float64()*200 - 100
+		base := 2 + rng.Float64()*20
+		n := 24 + rng.Intn(120)
+		ring := make(geom.Polygon, 0, n)
+		for i := 0; i < n; i++ {
+			ang := 2 * math.Pi * float64(i) / float64(n)
+			rad := base * (0.6 + 0.4*rng.Float64())
+			ring = append(ring, geom.Pt(cx+rad*math.Cos(ang), cy+rad*math.Sin(ang)))
+		}
+		r = append(r, ring)
+	}
+	return r
+}
+
+func lodTestWorld(t testing.TB, seed int64, n int, opt LoDOptions) (*LoDWorld, []*Prepared) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	regions := make([]NamedRegion, n)
+	for i := range regions {
+		regions[i] = NamedRegion{Name: "r" + string(rune('A'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)), Region: lodNoisyRegion(rng)}
+	}
+	w, err := PrepareLoDWorld(regions, opt)
+	if err != nil {
+		t.Fatalf("PrepareLoDWorld: %v", err)
+	}
+	exact, err := PrepareAll(regions)
+	if err != nil {
+		t.Fatalf("PrepareAll: %v", err)
+	}
+	return w, exact
+}
+
+// TestLoDDifferential is the tier's core guarantee: every pair answered by
+// the LoD world — whether by the coarse summary, the simplified kernel, or
+// the exact fallback — is bit-identical to the exact engine, for both the
+// qualitative relation and the percent matrix.
+func TestLoDDifferential(t *testing.T) {
+	w, exact := lodTestWorld(t, 1, 40, LoDOptions{})
+	sc := getScratch()
+	defer putScratch(sc)
+	var st Stats
+	for i := 0; i < w.Len(); i++ {
+		for j := 0; j < w.Len(); j++ {
+			if i == j {
+				continue
+			}
+			want, err := Relate(exact[i], exact[j], sc)
+			if err != nil {
+				t.Fatalf("exact Relate(%d,%d): %v", i, j, err)
+			}
+			got, err := w.Relation(i, j, sc, &st)
+			if err != nil {
+				t.Fatalf("LoD Relation(%d,%d): %v", i, j, err)
+			}
+			if got != want {
+				t.Fatalf("pair (%d,%d): LoD %v != exact %v (eps=%g)", i, j, got, want, w.LoD(i).Eps)
+			}
+
+			wantM, wantA, err := RelatePct(exact[i], exact[j], sc)
+			if err != nil {
+				t.Fatalf("exact RelatePct(%d,%d): %v", i, j, err)
+			}
+			gotM, gotA, err := w.RelationPct(i, j, sc, &st)
+			if err != nil {
+				t.Fatalf("LoD RelationPct(%d,%d): %v", i, j, err)
+			}
+			if gotM != wantM || gotA != wantA {
+				t.Fatalf("pair (%d,%d): LoD pct differs from exact", i, j)
+			}
+		}
+	}
+	// The world must actually exercise all three tiers; a silent all-exact
+	// degrade would vacuously pass the identity check.
+	if st.CoarseSingleTile == 0 {
+		t.Error("coarse tier never fired")
+	}
+	if st.LoDSimplified == 0 {
+		t.Error("simplified tier never fired")
+	}
+	t.Logf("stats: coarse=%d simplified=%d exact=%d fastPath=%d",
+		st.CoarseSingleTile, st.LoDSimplified, st.LoDExact, st.PruneSingleTile+st.PruneBand)
+}
+
+// TestLoDSimplifies confirms the tier actually reduces geometry (the perf
+// premise) rather than degrading everything to exact.
+func TestLoDSimplifies(t *testing.T) {
+	w, exact := lodTestWorld(t, 2, 20, LoDOptions{})
+	simplified := 0
+	for i := 0; i < w.Len(); i++ {
+		l := w.LoD(i)
+		if l.Eps > 0 {
+			simplified++
+			if l.SimplifiedEdges() >= len(exact[i].ax) {
+				t.Errorf("region %d: eps=%g but %d simplified edges >= %d exact", i, l.Eps, l.SimplifiedEdges(), len(exact[i].ax))
+			}
+		}
+	}
+	if simplified == 0 {
+		t.Fatal("no region was simplified")
+	}
+}
+
+// TestLoDBatchRows checks the row sweep against the per-pair path in both
+// LoD and exact modes, and the context-cancellation contract.
+func TestLoDBatchRows(t *testing.T) {
+	w, exact := lodTestWorld(t, 3, 30, LoDOptions{Workers: 4})
+	rows := []int{0, 7, 29}
+	got, st, err := w.BatchRows(context.Background(), rows, false)
+	if err != nil {
+		t.Fatalf("BatchRows: %v", err)
+	}
+	gotExact, _, err := w.BatchRows(context.Background(), rows, true)
+	if err != nil {
+		t.Fatalf("BatchRows(exact): %v", err)
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	for r, pi := range rows {
+		for j := 0; j < w.Len(); j++ {
+			if j == pi {
+				if got[r][j] != 0 || gotExact[r][j] != 0 {
+					t.Fatalf("row %d: self entry not zero", pi)
+				}
+				continue
+			}
+			want, err := Relate(exact[pi], exact[j], sc)
+			if err != nil {
+				t.Fatalf("exact Relate: %v", err)
+			}
+			if got[r][j] != want {
+				t.Fatalf("row %d vs %d: LoD sweep %v != exact %v", pi, j, got[r][j], want)
+			}
+			if gotExact[r][j] != want {
+				t.Fatalf("row %d vs %d: exact sweep %v != exact %v", pi, j, gotExact[r][j], want)
+			}
+		}
+	}
+	if st.CoarseSingleTile+st.LoDSimplified+st.LoDExact+st.PruneSingleTile+st.PruneBand == 0 {
+		t.Error("sweep recorded no tier stats")
+	}
+
+	if _, _, err := w.BatchRows(context.Background(), []int{-1}, false); err == nil {
+		t.Error("negative row index accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := w.BatchRows(ctx, rows, false); err == nil {
+		t.Error("cancelled context not reported")
+	}
+}
+
+// TestCoarsePairSingleTile differentially checks the O(1) coarse answers
+// against the exact kernel on dense random box layouts.
+func TestCoarsePairSingleTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 30
+		regions := make([]NamedRegion, n)
+		boxes := make([]geom.Rect, n)
+		for i := range regions {
+			x := rng.Float64() * 100
+			y := rng.Float64() * 100
+			w := 0.5 + rng.Float64()*10
+			h := 0.5 + rng.Float64()*10
+			regions[i] = NamedRegion{
+				Name:   string(rune('a' + i%26)) + string(rune('0' + i/26)),
+				Region: geom.Rgn(geom.Poly(geom.Pt(x, y), geom.Pt(x, y+h), geom.Pt(x+w, y+h), geom.Pt(x+w, y))),
+			}
+			boxes[i] = regions[i].Region.BoundingBox()
+		}
+		ci := NewCoarseIndex(boxes, 64)
+		exact, err := PrepareAll(regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := getScratch()
+		fired := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				rel, ok := ci.PairSingleTile(i, j)
+				if !ok {
+					continue
+				}
+				fired++
+				want, err := Relate(exact[i], exact[j], sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel != want {
+					t.Fatalf("trial %d pair (%d,%d): coarse %v != exact %v", trial, i, j, rel, want)
+				}
+			}
+		}
+		putScratch(sc)
+		if trial == 0 && fired == 0 {
+			t.Error("coarse rules never fired")
+		}
+	}
+}
+
+// TestCoarseEstimateSel sanity-checks the planner probe: estimates stay in
+// [0,1] and track the true single-tile fraction reasonably.
+func TestCoarseEstimateSel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	boxes := make([]geom.Rect, n)
+	for i := range boxes {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		boxes[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + 1 + rng.Float64()*5, MaxY: y + 1 + rng.Float64()*5}
+	}
+	ci := NewCoarseIndex(boxes, 128)
+	g, err := NewGrid(geom.Rect{MinX: 40, MinY: 40, MaxX: 60, MaxY: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All nine single-tile relations: sel = covered + (1−covered)·9/9 = 1.
+	var all RelationSet
+	for _, tile := range Tiles() {
+		all.Add(Rel(tile))
+	}
+	if sel := ci.EstimateSel(g, all); math.Abs(sel-1) > 1e-9 {
+		t.Errorf("EstimateSel(all single tiles) = %g, want 1", sel)
+	}
+	for _, tile := range []Tile{TileSW, TileB, TileNE} {
+		sel := ci.EstimateSel(g, NewRelationSet(Rel(tile)))
+		if sel < 0 || sel > 1 {
+			t.Errorf("EstimateSel(%v) = %g out of [0,1]", tile, sel)
+		}
+	}
+	// The SW corner tile must look much more selective than the full set.
+	if swSel := ci.EstimateSel(g, NewRelationSet(Rel(TileSW))); swSel > 0.5 {
+		t.Errorf("EstimateSel(SW) = %g, expected a small fraction", swSel)
+	}
+}
+
+// TestLoDZeroEpsDegrade checks tiny regions stay exact and still answer
+// correctly.
+func TestLoDZeroEpsDegrade(t *testing.T) {
+	tri := geom.Rgn(geom.Poly(geom.Pt(0, 0), geom.Pt(0, 1), geom.Pt(1, 0)))
+	l, err := PrepareLoD(nil, "tri", tri, LoDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Eps != 0 {
+		t.Fatalf("triangle got eps=%g, want 0", l.Eps)
+	}
+	if l.Exact() != l.Simplified() {
+		t.Error("eps=0 LoD should share one preparation")
+	}
+	ref, err := PrepareLoD(nil, "ref", geom.Rgn(geom.Poly(geom.Pt(2, 2), geom.Pt(2, 3), geom.Pt(3, 3), geom.Pt(3, 2))), LoDOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := RelateLoD(l, ref, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Rel(TileSW); rel != want {
+		t.Fatalf("RelateLoD = %v, want %v", rel, want)
+	}
+}
+
+// FuzzLoDDifferential drives the bit-identity guarantee from fuzzed seeds:
+// random worlds of noisy multi-polygon regions, every pair cross-checked
+// against the exact kernel.
+func FuzzLoDDifferential(f *testing.F) {
+	for s := int64(0); s < 8; s++ {
+		f.Add(s, uint8(10))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nn uint8) {
+		n := 3 + int(nn%14)
+		rng := rand.New(rand.NewSource(seed))
+		regions := make([]NamedRegion, n)
+		for i := range regions {
+			regions[i] = NamedRegion{Name: string(rune('a' + i%26)) + string(rune('0' + i/26)), Region: lodNoisyRegion(rng)}
+		}
+		w, err := PrepareLoDWorld(regions, LoDOptions{})
+		if err != nil {
+			t.Fatalf("PrepareLoDWorld: %v", err)
+		}
+		exact, err := PrepareAll(regions)
+		if err != nil {
+			t.Fatalf("PrepareAll: %v", err)
+		}
+		sc := getScratch()
+		defer putScratch(sc)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				want, err := Relate(exact[i], exact[j], sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := w.Relation(i, j, sc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("seed %d pair (%d,%d): LoD %v != exact %v", seed, i, j, got, want)
+				}
+				wantM, _, err := RelatePct(exact[i], exact[j], sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotM, _, err := w.RelationPct(i, j, sc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotM != wantM {
+					t.Fatalf("seed %d pair (%d,%d): LoD pct != exact pct", seed, i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cardirect/internal/geom"
+)
+
+// LoDWorld is a world prepared for huge-scale relation computation: every
+// region in level-of-detail form (simplified geometry + error band + lazy
+// exact fallback) plus the coarse cell-span summary answering clearly
+// single-tile pairs in O(1). At 10^5 regions an eagerly materialised
+// relation matrix is off the table (10^10 cells), so the world answers
+// pairs and row sweeps on demand instead; every answer is bit-identical to
+// the exact kernel's (differential-tested, fuzzed).
+//
+// Immutable after construction except for the per-region exact caches;
+// safe for concurrent use.
+type LoDWorld struct {
+	lods    []*LoD
+	coarse  *CoarseIndex
+	byName  map[string]int
+	workers int
+
+	// Reference-side facts packed into flat arrays: the row sweeps touch
+	// every region as a reference, and loading a 32-byte grid from a
+	// contiguous slice beats chasing lods[j] → simp → grid through two
+	// cache misses per pair.
+	grids   []Grid
+	centers []geom.Point
+}
+
+// PrepareLoDWorld builds the level-of-detail world: names must be
+// non-empty and unique (the batch naming contract). Simplified geometry is
+// arena-allocated; exact geometry is prepared lazily per region, only when
+// a pair needs it.
+func PrepareLoDWorld(regions []NamedRegion, opt LoDOptions) (*LoDWorld, error) {
+	w := &LoDWorld{
+		lods:    make([]*LoD, len(regions)),
+		byName:  make(map[string]int, len(regions)),
+		workers: opt.Workers,
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var next atomic.Int64
+	// Simplification and preparation are per-region independent CPU work;
+	// fan out with one arena per worker (an arena is just backing storage —
+	// nothing requires the world to share one).
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	seen := make(map[string]bool, len(regions))
+	for i, r := range regions {
+		if r.Name == "" {
+			return nil, fmt.Errorf("core: region %d has empty name", i)
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("core: duplicate region name %q", r.Name)
+		}
+		seen[r.Name] = true
+		w.byName[r.Name] = i
+	}
+	runPool(workers, func() {
+		ar := NewArena()
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(regions) {
+				return
+			}
+			r := regions[i]
+			l, err := PrepareLoD(ar, r.Name, r.Region, opt)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			w.lods[i] = l
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	boxes := make([]geom.Rect, len(w.lods))
+	w.grids = make([]Grid, len(w.lods))
+	w.centers = make([]geom.Point, len(w.lods))
+	for i, l := range w.lods {
+		boxes[i] = l.simp.Box
+		w.grids[i] = l.simp.grid
+		w.centers[i] = l.simp.center
+	}
+	w.coarse = NewCoarseIndex(boxes, opt.Grid)
+	return w, nil
+}
+
+// Len returns the number of regions.
+func (w *LoDWorld) Len() int { return len(w.lods) }
+
+// Index returns the index of the named region, or -1.
+func (w *LoDWorld) Index(name string) int {
+	if i, ok := w.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// LoD returns region i's level-of-detail form.
+func (w *LoDWorld) LoD(i int) *LoD { return w.lods[i] }
+
+// Coarse returns the world's coarse cell-span summary.
+func (w *LoDWorld) Coarse() *CoarseIndex { return w.coarse }
+
+// Relation answers the relation of primary i against reference j through
+// the tier stack: coarse cell spans in O(1), then the simplified geometry
+// under the clearance proof, then the exact kernel. Bit-identical to
+// Relate(exact_i, exact_j, sc) including the degenerate-reference error.
+// sc may be nil.
+func (w *LoDWorld) Relation(i, j int, sc *Scratch, st *Stats) (Relation, error) {
+	b := w.lods[j]
+	if b.simp.gridErr != nil {
+		return 0, b.simp.gridErr
+	}
+	if rel, ok := w.coarse.PairSingleTile(i, j); ok {
+		if st != nil {
+			st.CoarseSingleTile++
+		}
+		return rel, nil
+	}
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
+	return w.lods[i].relateLoD(b.simp.grid, b.simp.center, sc, st), nil
+}
+
+// RelationPct answers the percent matrix of primary i against reference j
+// through the tier stack, bit-identical to RelatePct(exact_i, exact_j, sc).
+// sc may be nil.
+func (w *LoDWorld) RelationPct(i, j int, sc *Scratch, st *Stats) (PercentMatrix, TileAreas, error) {
+	return RelatePctLoD(w.lods[i], w.lods[j], sc, st)
+}
+
+// BatchRows computes, for each requested primary row, its relation to
+// every other region of the world — the sampled-row flavour of all-pairs
+// that huge worlds use in place of the infeasible full matrix. exact
+// routes every pair through the exact-geometry engine instead of the LoD
+// tiers (the E23 comparison baseline; results are identical either way).
+// out[r][j] is rows[r]'s relation to region j, with out[r][rows[r]] left
+// zero. The context is checked once per claimed row.
+func (w *LoDWorld) BatchRows(ctx context.Context, rows []int, exact bool) ([][]Relation, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(w.lods)
+	for _, l := range w.lods {
+		if l.simp.gridErr != nil {
+			return nil, Stats{}, fmt.Errorf("core: region %q: %w", l.Name, l.simp.gridErr)
+		}
+	}
+	out := make([][]Relation, len(rows))
+	for r := range out {
+		if rows[r] < 0 || rows[r] >= n {
+			return nil, Stats{}, fmt.Errorf("core: row index %d out of range [0,%d)", rows[r], n)
+		}
+		out[r] = make([]Relation, n)
+	}
+	workers := w.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var mu sync.Mutex
+	var total Stats
+	runPool(workers, func() {
+		sc := getScratch()
+		defer putScratch(sc)
+		var st Stats
+		for {
+			r := int(next.Add(1) - 1)
+			if r >= len(rows) {
+				break
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			pi := rows[r]
+			row := out[r]
+			if exact {
+				a := w.lods[pi].Exact()
+				for j := 0; j < n; j++ {
+					if j == pi {
+						continue
+					}
+					// grids and centers are exact (anchored boxes)
+					row[j] = a.relate(w.grids[j], w.centers[j], false, false, sc, &st)
+					st.Passes++
+				}
+				continue
+			}
+			a := w.lods[pi]
+			// PairSingleTile with the primary's span hoisted out of the
+			// inner loop and the per-axis switches folded into the
+			// coarsePairLut nibble lookup: the sweep streams the 8-byte
+			// spans sequentially, the comparisons materialise as flags, and
+			// the only data-dependent branch left is the lookup hit, which
+			// the predictor learns (>99% of pairs decide here).
+			spans := w.coarse.spans
+			as := spans[pi]
+			for j := 0; j < n; j++ {
+				if j == pi {
+					continue
+				}
+				bs := spans[j]
+				xb := b2i(as.x1 < bs.x0) | b2i(as.x0 > bs.x1)<<1 |
+					b2i(as.x0 > bs.x0)<<2 | b2i(as.x1 < bs.x1)<<3
+				yb := b2i(as.y1 < bs.y0) | b2i(as.y0 > bs.y1)<<1 |
+					b2i(as.y0 > bs.y0)<<2 | b2i(as.y1 < bs.y1)<<3
+				if rel := coarsePairLut[xb|yb<<4]; rel != 0 {
+					st.CoarseSingleTile++
+					row[j] = rel
+					continue
+				}
+				row[j] = a.relateLoD(w.grids[j], w.centers[j], sc, &st)
+				st.Passes++
+			}
+		}
+		mu.Lock()
+		total.Merge(st)
+		mu.Unlock()
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, total, err
+	}
+	return out, total, nil
+}

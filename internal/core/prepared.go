@@ -197,6 +197,15 @@ type Scratch struct {
 	buf   []geom.Segment
 	acc   [NumTiles]float64 // per-tile trapezoid accumulators (reference kernel)
 	accBN float64           // B∪N slab accumulator against y = l1 (reference kernel)
+
+	// Strip-stage scratch (lod_strip.go): epoch-stamped candidate
+	// de-duplication, the gathered edge ids, and per-polygon parity
+	// accumulators for the center query.
+	stripSeen   []uint32
+	stripEpoch  uint32
+	stripIDs    []int32
+	polyMark    []uint8
+	polyTouched []int32
 }
 
 // Relate computes the cardinal direction relation a R b of the primary a
@@ -292,6 +301,16 @@ func strictRow(b geom.Rect, g Grid) int {
 // unset) skip the band path, because they break that argument; the
 // single-tile path needs no such invariant.
 func (p *Prepared) relateFast(g Grid, st *Stats) (Relation, bool) {
+	return p.relateFastWith(g, p.fastOK, st)
+}
+
+// relateFastWith is relateFast with the band-path soundness gate supplied
+// by the caller. The fast path reads only the region and per-polygon
+// bounding boxes, so a LoD region — whose simplified geometry shares those
+// boxes exactly with the original — reuses it by passing the ORIGINAL
+// region's fastOK: the answer is then exact for the original geometry even
+// though p holds the simplified ring.
+func (p *Prepared) relateFastWith(g Grid, fastOK bool, st *Stats) (Relation, bool) {
 	col := strictCol(p.Box, g)
 	row := strictRow(p.Box, g)
 	if col >= 0 && row >= 0 {
@@ -300,7 +319,7 @@ func (p *Prepared) relateFast(g Grid, st *Stats) (Relation, bool) {
 		}
 		return Rel(TileAt(col, row)), true
 	}
-	if !p.fastOK {
+	if !fastOK {
 		return 0, false
 	}
 	if col >= 0 {

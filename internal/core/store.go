@@ -275,6 +275,131 @@ func (s *RelationStore) Add(name string, r geom.Region) error {
 	return s.recompute(i)
 }
 
+// AddBulk inserts many regions in one edit: every region is validated and
+// prepared up front (on failure the store is unchanged), the matrix grows
+// once, and the pairs touching new slots are recomputed in ONE batched
+// worker-pool sweep — counted as a single Stats.BulkBatches increment and
+// zero DeltaPairs, where the per-region Add path would have paid k
+// separate 2(n−1)-pair deltas. One generation bump for the whole batch.
+func (s *RelationStore) AddBulk(regions []NamedRegion) error {
+	if len(regions) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	added := make([]*Prepared, 0, len(regions))
+	batch := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		if r.Name == "" {
+			return fmt.Errorf("core: empty region name")
+		}
+		if _, ok := s.idx[r.Name]; ok {
+			return fmt.Errorf("core: duplicate region name %q", r.Name)
+		}
+		if batch[r.Name] {
+			return fmt.Errorf("core: duplicate region name %q", r.Name)
+		}
+		batch[r.Name] = true
+		p, err := Prepare(r.Name, r.Region)
+		if err != nil {
+			return err
+		}
+		if err := s.usable(p); err != nil {
+			return err
+		}
+		added = append(added, p)
+	}
+	n0 := len(s.ps)
+	n := n0 + len(added)
+	for i, p := range added {
+		s.idx[p.Name] = n0 + i
+	}
+	s.ps = append(s.ps, added...)
+	for j := range s.rels {
+		s.rels[j] = append(s.rels[j], make([]Relation, len(added))...)
+	}
+	for i := n0; i < n; i++ {
+		s.rels = append(s.rels, make([]Relation, n))
+	}
+	if s.pcts != nil {
+		for j := range s.pcts {
+			s.pcts[j] = append(s.pcts[j], make([]pctCell, len(added))...)
+		}
+		for i := n0; i < n; i++ {
+			s.pcts = append(s.pcts, make([]pctCell, n))
+		}
+	}
+	s.gen.Add(1)
+	if n < 2 {
+		s.stats.BulkBatches++
+		return nil
+	}
+
+	// One sweep over the pairs a new slot participates in: each worker
+	// claims a new slot i and fills row i (i as primary against everyone,
+	// old and new) plus the old-region column cells (j, i) for j < n0; the
+	// (new j, i) column cells are row j's work, so no two workers race.
+	var next atomic.Int64
+	var mu sync.Mutex
+	var total Stats
+	errs := make([]error, len(added))
+	work := func() {
+		sc := getScratch()
+		defer putScratch(sc)
+		var st Stats
+		for {
+			k := int(next.Add(1) - 1)
+			if k >= len(added) {
+				break
+			}
+			i := n0 + k
+			a := s.ps[i]
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				b := s.ps[j]
+				s.rels[i][j] = a.relate(b.grid, b.center, false, false, sc, &st)
+				st.Passes++
+				if j < n0 {
+					s.rels[j][i] = b.relate(a.grid, a.center, false, false, sc, &st)
+					st.Passes++
+				}
+				if s.pcts != nil {
+					cij := &s.pcts[i][j]
+					tot, err := a.relatePctAreasInto(&cij.areas, b.grid, false, false, sc, &st)
+					if err != nil {
+						errs[k] = err
+						continue
+					}
+					percentInto(&cij.matrix, &cij.areas, tot)
+					if j < n0 {
+						cji := &s.pcts[j][i]
+						tot, err = b.relatePctAreasInto(&cji.areas, a.grid, false, false, sc, &st)
+						if err != nil {
+							errs[k] = err
+							continue
+						}
+						percentInto(&cji.matrix, &cji.areas, tot)
+					}
+				}
+			}
+		}
+		mu.Lock()
+		total.Merge(st)
+		mu.Unlock()
+	}
+	runPool(s.workers(len(added)), work)
+	total.BulkBatches++
+	s.stats.Merge(total)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Remove deletes a region and every cached pair mentioning it, shrinking the
 // matrix in O(n) with no recomputation: the surviving pairs are unaffected
 // by the deletion.

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/workload"
+)
+
+// E23HugeWorld measures the huge-world tier (internal/core lod*.go) on the
+// two workloads it exists for:
+//
+//   - A zipfian world (10^5 regions full, 2·10^4 quick; a handful of giant
+//     4096-edge coastlines above a long simple tail) swept with sampled
+//     all-pairs rows — the 16 giants plus an even stride — through
+//     LoDWorld.BatchRows twice: exact-only (every pair through the exact
+//     SoA kernel) and the LoD tier stack (coarse single-tile O(1) answers,
+//     the strip-localised exact stage, the error-bounded simplified
+//     bracket, exact fallback). The outputs are asserted bit-identical
+//     cell by cell BEFORE any timing; lod_speedup is exact wall-clock over
+//     LoD wall-clock, best of three sweeps each. In full mode the
+//     experiment itself errors below the 10x acceptance floor.
+//   - An urban/rural clustered world ingested into a live RelationStore
+//     two ways: one streamed AddBulk call (matrix grown once, ONE batched
+//     worker-pool recompute — Stats.BulkBatches) versus the per-region Add
+//     loop every client used to pay (k separate 2(n−1)-pair deltas —
+//     Stats.DeltaPairs). The delta-path counters are asserted, not just
+//     reported: bulk must land in one batch with zero delta pairs.
+//
+// Metric suffixes follow the trend-gate convention: *_ms may not grow and
+// *_speedup may not shrink beyond the threshold; the tier-stack counters
+// (coarse/strip/simplified/exact pair counts) are informational.
+func E23HugeWorld(o Options) (Report, error) {
+	g := workload.New(o.Seed)
+	n := 100000
+	nBulk := 2000
+	if o.Quick {
+		n = 20000
+		nBulk = 600
+	}
+	window := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	metrics := map[string]float64{"n": float64(n), "bulk_regions": float64(nBulk)}
+
+	regions := make([]core.NamedRegion, n)
+	for i, r := range g.Zipf(window, n, 4096) {
+		regions[i] = core.NamedRegion{Name: fmt.Sprintf("z%06d", i), Region: r}
+	}
+	t0 := time.Now()
+	w, err := core.PrepareLoDWorld(regions, core.LoDOptions{})
+	if err != nil {
+		return Report{}, err
+	}
+	metrics["build_lod_ms"] = float64(time.Since(t0).Nanoseconds()) / 1e6
+
+	// Sampled rows: every giant (zipf rank order puts them first) plus an
+	// even stride through the tail. The giants are where all-pairs cost
+	// concentrates; the stride keeps the tail honest.
+	var rows []int
+	for i := 0; i < 16 && i < n; i++ {
+		rows = append(rows, i)
+	}
+	for i := 16; i < n; i += n / 48 {
+		rows = append(rows, i)
+	}
+	metrics["rows"] = float64(len(rows))
+
+	// Result equality first: the tier stack must be a pure optimisation.
+	ctx := context.Background()
+	exactOut, _, err := w.BatchRows(ctx, rows, true)
+	if err != nil {
+		return Report{}, err
+	}
+	lodOut, lodSt, err := w.BatchRows(ctx, rows, false)
+	if err != nil {
+		return Report{}, err
+	}
+	for r := range rows {
+		for j := 0; j < n; j++ {
+			if exactOut[r][j] != lodOut[r][j] {
+				return Report{}, fmt.Errorf(
+					"E23: LoD answer differs from exact kernel at row %d col %d: %v vs %v",
+					rows[r], j, lodOut[r][j], exactOut[r][j])
+			}
+		}
+	}
+
+	// Best-of-four sweeps each side, INTERLEAVED exact/LoD per round: on
+	// shared hardware a multi-second CPU-steal burst would otherwise land
+	// entirely inside one side's (much shorter) measurement window and
+	// wreck the ratio; alternating makes correlated noise hit both sides.
+	// The equality pass above already warmed the lazy strip indexes and
+	// exact-fallback caches — the steady state a long-lived world serves.
+	sweep := func(exact bool) float64 {
+		t := time.Now()
+		if _, _, err := w.BatchRows(ctx, rows, exact); err != nil {
+			panic(err)
+		}
+		return float64(time.Since(t).Nanoseconds())
+	}
+	nsExact, nsLoD := 0.0, 0.0
+	for i := 0; i < 4; i++ {
+		if d := sweep(true); nsExact == 0 || d < nsExact {
+			nsExact = d
+		}
+		if d := sweep(false); nsLoD == 0 || d < nsLoD {
+			nsLoD = d
+		}
+	}
+	speedup := nsExact / nsLoD
+	metrics["exact_sweep_ms"] = nsExact / 1e6
+	metrics["lod_sweep_ms"] = nsLoD / 1e6
+	metrics["lod_speedup"] = speedup
+	metrics["pairs_coarse"] = float64(lodSt.CoarseSingleTile)
+	metrics["pairs_strip"] = float64(lodSt.LoDStrip)
+	metrics["pairs_simplified"] = float64(lodSt.LoDSimplified)
+	metrics["pairs_exact_fallback"] = float64(lodSt.LoDExact)
+	if !o.Quick && speedup < 10 {
+		return Report{}, fmt.Errorf(
+			"E23: LoD tier speedup %.1fx on the %d-region zipfian world, want >= 10x", speedup, n)
+	}
+
+	// Streamed bulk ingest: an urban/rural clustered batch into a live
+	// store, AddBulk versus the per-region Add loop. Both sides start from
+	// an identical seeded store; the batch is everything past the seed.
+	clustered := g.UrbanRural(window, nBulk, nBulk/40, 8)
+	bulkRegions := make([]core.NamedRegion, nBulk)
+	for i, r := range clustered {
+		bulkRegions[i] = core.NamedRegion{Name: fmt.Sprintf("u%05d", i), Region: r}
+	}
+	seedN := nBulk / 4
+	mkStore := func() (*core.RelationStore, error) {
+		return core.NewRelationStore(bulkRegions[:seedN], core.StoreOptions{})
+	}
+	bulkBest, loopBest := 0.0, 0.0
+	var bulkBatches, bulkDeltaPairs, loopDeltaPairs int
+	for i := 0; i < 2; i++ {
+		st, err := mkStore()
+		if err != nil {
+			return Report{}, err
+		}
+		before := st.Stats()
+		t := time.Now()
+		if err := st.AddBulk(bulkRegions[seedN:]); err != nil {
+			return Report{}, err
+		}
+		if d := float64(time.Since(t).Nanoseconds()); bulkBest == 0 || d < bulkBest {
+			bulkBest = d
+		}
+		after := st.Stats()
+		bulkBatches = after.BulkBatches - before.BulkBatches
+		bulkDeltaPairs = after.DeltaPairs - before.DeltaPairs
+
+		st, err = mkStore()
+		if err != nil {
+			return Report{}, err
+		}
+		before = st.Stats()
+		t = time.Now()
+		for _, r := range bulkRegions[seedN:] {
+			if err := st.Add(r.Name, r.Region); err != nil {
+				return Report{}, err
+			}
+		}
+		if d := float64(time.Since(t).Nanoseconds()); loopBest == 0 || d < loopBest {
+			loopBest = d
+		}
+		loopDeltaPairs = st.Stats().DeltaPairs - before.DeltaPairs
+	}
+	// The acceptance assertion: one batched recompute, zero delta pairs.
+	if bulkBatches != 1 || bulkDeltaPairs != 0 {
+		return Report{}, fmt.Errorf(
+			"E23: AddBulk of %d regions took %d batches and %d delta pairs, want 1 batch / 0 deltas",
+			nBulk-seedN, bulkBatches, bulkDeltaPairs)
+	}
+	metrics["bulk_ingest_ms"] = bulkBest / 1e6
+	metrics["add_loop_ms"] = loopBest / 1e6
+	metrics["bulk_ingest_speedup"] = loopBest / bulkBest
+	metrics["loop_delta_pairs"] = float64(loopDeltaPairs)
+
+	decided := lodSt.CoarseSingleTile + lodSt.LoDStrip + lodSt.LoDSimplified + lodSt.LoDExact
+	body := fmt.Sprintf("zipfian world, %d regions (max 4096 edges), %d sampled all-pairs rows,\nresults asserted bit-identical to the exact kernel before timing:\n", n, len(rows))
+	body += Table(
+		[]string{"sweep", "wall-clock", "speedup"},
+		[][]string{
+			{"exact-only", fmt.Sprintf("%.1f ms", nsExact/1e6), "1.0x"},
+			{"LoD tier stack", fmt.Sprintf("%.1f ms", nsLoD/1e6), fmt.Sprintf("%.1fx", speedup)},
+		},
+	)
+	body += "\npairs by deciding tier (LoD sweep):\n"
+	body += Table(
+		[]string{"tier", "pairs", "share"},
+		[][]string{
+			{"coarse single-tile (O(1))", fmt.Sprint(lodSt.CoarseSingleTile), fmt.Sprintf("%.2f%%", 100*float64(lodSt.CoarseSingleTile)/float64(decided))},
+			{"strip-localised exact", fmt.Sprint(lodSt.LoDStrip), fmt.Sprintf("%.2f%%", 100*float64(lodSt.LoDStrip)/float64(decided))},
+			{"simplified bracket", fmt.Sprint(lodSt.LoDSimplified), fmt.Sprintf("%.2f%%", 100*float64(lodSt.LoDSimplified)/float64(decided))},
+			{"exact fallback", fmt.Sprint(lodSt.LoDExact), fmt.Sprintf("%.2f%%", 100*float64(lodSt.LoDExact)/float64(decided))},
+		},
+	)
+	body += fmt.Sprintf("\nstreamed bulk ingest, urban/rural clustered world (%d regions into a %d-region store):\n", nBulk-seedN, seedN)
+	body += Table(
+		[]string{"path", "wall-clock", "recompute shape"},
+		[][]string{
+			{"AddBulk (one batch)", fmt.Sprintf("%.1f ms", bulkBest/1e6), fmt.Sprintf("%d batch, %d delta pairs", bulkBatches, bulkDeltaPairs)},
+			{"per-region Add loop", fmt.Sprintf("%.1f ms", loopBest/1e6), fmt.Sprintf("%d delta pairs", loopDeltaPairs)},
+		},
+	)
+	body += "\nevery LoD-tier answer is bit-identical to the exact kernel (also fuzzed:\nFuzzLoDDifferential); `make bench-trend` gates these numbers against the\ncommitted baseline\n"
+	return Report{
+		ID:      "E23",
+		Title:   "Huge-world tier: LoD stack vs exact-only, streamed bulk ingest",
+		Body:    body,
+		Metrics: metrics,
+	}, nil
+}

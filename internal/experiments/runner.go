@@ -916,6 +916,7 @@ func Entries(o Options) []Entry {
 		{"E20", func() (Report, error) { return E20StoreDelta(o) }},
 		{"E21", func() (Report, error) { return E21RawSpeed(o) }},
 		{"E22", func() (Report, error) { return E22QueryPlanner(o) }},
+		{"E23", func() (Report, error) { return E23HugeWorld(o) }},
 	}
 }
 

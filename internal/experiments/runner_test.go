@@ -234,10 +234,49 @@ func TestE22PlannerWins(t *testing.T) {
 	}
 }
 
+// TestE23LoDWins runs the huge-world experiment in quick mode (2·10^4
+// regions) and enforces the tier's acceptance bars at a noise-robust quick
+// floor: the LoD stack must beat the exact-only sweep by ≥6x (the full
+// 10^5-region run asserts the ≥10x bar inside the experiment itself), the
+// coarse prefilter and strip stage must each actually decide pairs, and
+// bulk ingest must land in one batched recompute with zero delta pairs
+// (the experiment errors otherwise). Bit-identity of every LoD answer is
+// asserted by the experiment before any timing.
+func TestE23LoDWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E23HugeWorld(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"LoD tier stack", "coarse single-tile", "strip-localised exact", "AddBulk (one batch)"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E23 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	for _, key := range []string{"build_lod_ms", "exact_sweep_ms", "lod_sweep_ms",
+		"lod_speedup", "pairs_coarse", "pairs_strip", "bulk_ingest_ms",
+		"add_loop_ms", "bulk_ingest_speedup"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("E23 metrics missing %q: %v", key, r.Metrics)
+		}
+	}
+	if got := r.Metrics["lod_speedup"]; got < 6 {
+		t.Errorf("LoD tier speedup %.2fx, want >= 6x (quick floor; full mode asserts 10x)", got)
+	}
+	if r.Metrics["pairs_coarse"] == 0 {
+		t.Error("coarse prefilter decided no pairs — the O(1) tier is vacuous")
+	}
+	if r.Metrics["pairs_strip"] == 0 {
+		t.Error("strip stage decided no pairs — the localised exact tier is vacuous")
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 18 {
-		t.Fatalf("entries = %d, want 18 (E1-E3 … E22)", len(entries))
+	if len(entries) != 19 {
+		t.Fatalf("entries = %d, want 19 (E1-E3 … E23)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

@@ -1,0 +1,159 @@
+package geom
+
+// Error-bounded ring simplification for the level-of-detail compute tier
+// (internal/core's LoD types). The contract the LoD correctness proofs
+// lean on has two halves, both established here:
+//
+//  1. Vertex subset, anchored at the extremes. The simplified ring keeps a
+//     subset of the original vertices in ring order, and the subset always
+//     includes a vertex attaining each of MinX, MaxX, MinY and MaxY. The
+//     bounding box of the simplified polygon is therefore EXACTLY the
+//     original's — no epsilon inflation — so every MBB-derived structure
+//     (reference grids, box fast paths, R-tree entries) computed from the
+//     simplified geometry is identical to the exact one.
+//
+//  2. Hausdorff(∂p, ∂p̃) ≤ eps, in BOTH directions. Douglas–Peucker keeps
+//     splitting a chain while some dropped vertex is farther than eps from
+//     the chord, so on return every dropped vertex is within eps of its
+//     chord. Point-to-segment distance is convex in the query point, so
+//     every point of an original edge (a convex combination of two
+//     vertices in the same chord span) is also within eps of that chord:
+//     ∂p ⊆ N_eps(∂p̃). Conversely, for a point q on a chord a→b, the
+//     original chain runs from a to b and therefore crosses the line
+//     through q perpendicular to the chord; the crossing point c has
+//     q = proj_ab(c), so dist(q,c) = dist(c, line ab) ≤ eps: ∂p̃ ⊆ N_eps(∂p).
+//
+// Both properties hold per chord span and hence for the whole ring.
+
+// distPointSeg returns the Euclidean distance from q to segment ab.
+func distPointSeg(q, a, b Point) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	l2 := dx*dx + dy*dy
+	if l2 == 0 {
+		return q.Dist(a)
+	}
+	t := ((q.X-a.X)*dx + (q.Y-a.Y)*dy) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return q.Dist(Point{X: a.X + t*dx, Y: a.Y + t*dy})
+}
+
+// dpChain marks keep[i] for every vertex of the open chain idx[lo..hi]
+// (endpoints already kept) that Douglas–Peucker retains at tolerance eps.
+// idx maps chain positions to ring indices of p.
+func dpChain(p Polygon, idx []int, lo, hi int, eps float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	a, b := p[idx[lo]], p[idx[hi]]
+	worst, worstDist := -1, eps
+	for i := lo + 1; i < hi; i++ {
+		if d := distPointSeg(p[idx[i]], a, b); d > worstDist {
+			worst, worstDist = i, d
+		}
+	}
+	if worst < 0 {
+		return // every interior vertex within eps of the chord: drop them all
+	}
+	keep[idx[worst]] = true
+	dpChain(p, idx, lo, worst, eps, keep)
+	dpChain(p, idx, worst, hi, eps, keep)
+}
+
+// SimplifyPolygon returns p simplified by anchored Douglas–Peucker with
+// tolerance eps: a ring whose vertices are a subset of p's in ring order,
+// whose bounding box equals p's exactly, and whose boundary is within
+// Hausdorff distance eps of p's boundary in both directions (see the
+// file comment for why). Rings of at most four vertices, eps ≤ 0, and
+// simplifications that would degenerate below three vertices return p
+// unchanged. The returned ring shares no storage with p unless it IS p.
+func SimplifyPolygon(p Polygon, eps float64) Polygon {
+	n := len(p)
+	if n <= 4 || eps <= 0 {
+		return p
+	}
+	// Anchor the extreme vertices so the MBB survives exactly.
+	iMinX, iMaxX, iMinY, iMaxY := 0, 0, 0, 0
+	for i, v := range p {
+		if v.X < p[iMinX].X {
+			iMinX = i
+		}
+		if v.X > p[iMaxX].X {
+			iMaxX = i
+		}
+		if v.Y < p[iMinY].Y {
+			iMinY = i
+		}
+		if v.Y > p[iMaxY].Y {
+			iMaxY = i
+		}
+	}
+	keep := make([]bool, n)
+	keep[iMinX], keep[iMaxX], keep[iMinY], keep[iMaxY] = true, true, true, true
+	anchors := make([]int, 0, 4)
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			anchors = append(anchors, i)
+		}
+	}
+	if len(anchors) < 2 {
+		// A single anchor (every extreme at one vertex) means a ring too
+		// degenerate to simplify meaningfully.
+		return p
+	}
+	// Run DP over each cyclic chain between consecutive anchors. The chain
+	// from anchors[k] to anchors[k+1] wraps the ring for the final span.
+	idx := make([]int, 0, n+1)
+	for k := range anchors {
+		lo := anchors[k]
+		hi := anchors[(k+1)%len(anchors)]
+		idx = idx[:0]
+		for i := lo; ; i = (i + 1) % n {
+			idx = append(idx, i)
+			if i == hi && len(idx) > 1 {
+				break
+			}
+		}
+		dpChain(p, idx, 0, len(idx)-1, eps, keep)
+	}
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	if kept < 3 || kept == n {
+		// Either nothing was dropped or the result would degenerate below a
+		// ring: keep the original.
+		return p
+	}
+	out := make(Polygon, 0, kept)
+	for i, k := range keep {
+		if k {
+			out = append(out, p[i])
+		}
+	}
+	return out
+}
+
+// SimplifyRegion simplifies each polygon of r independently with
+// SimplifyPolygon; the guarantees are per-polygon, so the region bounding
+// box is preserved exactly and the region boundary stays within Hausdorff
+// distance eps of the original in both directions.
+func SimplifyRegion(r Region, eps float64) Region {
+	out := make(Region, len(r))
+	changed := false
+	for i, p := range r {
+		out[i] = SimplifyPolygon(p, eps)
+		if len(out[i]) != len(p) {
+			changed = true
+		}
+	}
+	if !changed {
+		return r
+	}
+	return out
+}

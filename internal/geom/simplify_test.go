@@ -1,0 +1,149 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// noisyRing builds a dense star-shaped ring around (cx,cy) with base radius
+// r, per-vertex radial noise of amplitude amp, and n vertices — the shape
+// class simplification is for.
+func noisyRing(rng *rand.Rand, cx, cy, r, amp float64, n int) Polygon {
+	p := make(Polygon, n)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		rad := r + amp*(2*rng.Float64()-1)
+		p[i] = Pt(cx+rad*math.Cos(ang), cy+rad*math.Sin(ang))
+	}
+	return p.Clockwise()
+}
+
+// hausdorffRings approximates the directed Hausdorff distance from ring a
+// to ring b by sampling k points per edge of a and measuring each against
+// every edge of b.
+func hausdorffRings(a, b Polygon, k int) float64 {
+	worst := 0.0
+	for i := 0; i < len(a); i++ {
+		e := a.Edge(i)
+		for s := 0; s <= k; s++ {
+			t := float64(s) / float64(k)
+			q := Pt(e.A.X+t*(e.B.X-e.A.X), e.A.Y+t*(e.B.Y-e.A.Y))
+			best := math.Inf(1)
+			for j := 0; j < len(b); j++ {
+				f := b.Edge(j)
+				if d := distPointSeg(q, f.A, f.B); d < best {
+					best = d
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+	}
+	return worst
+}
+
+func TestSimplifyPolygonGuarantees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const eps = 0.15
+	for trial := 0; trial < 50; trial++ {
+		p := noisyRing(rng, rng.Float64()*20-10, rng.Float64()*20-10, 3+rng.Float64()*4, 0.3, 24+rng.Intn(80))
+		s := SimplifyPolygon(p, eps)
+		if len(s) < 3 {
+			t.Fatalf("trial %d: simplified to %d vertices", trial, len(s))
+		}
+		// Vertex subset in ring order.
+		j := 0
+		for i := 0; i < len(p) && j < len(s); i++ {
+			if p[i] == s[j] {
+				j++
+			}
+		}
+		// The simplified ring may start at a different vertex than p; rotate
+		// s to start at its first vertex's position in p before checking.
+		if j != len(s) {
+			start := -1
+			for i, v := range p {
+				if v == s[0] {
+					start = i
+					break
+				}
+			}
+			if start < 0 {
+				t.Fatalf("trial %d: simplified vertex %v not in original", trial, s[0])
+			}
+			j = 0
+			for i := 0; i < len(p) && j < len(s); i++ {
+				if p[(start+i)%len(p)] == s[j] {
+					j++
+				}
+			}
+			if j != len(s) {
+				t.Fatalf("trial %d: simplified vertices are not an ordered subset", trial)
+			}
+		}
+		// Exact bounding box preservation.
+		if p.BoundingBox() != s.BoundingBox() {
+			t.Fatalf("trial %d: bounding box changed: %v vs %v", trial, p.BoundingBox(), s.BoundingBox())
+		}
+		// Hausdorff ≤ eps both directions (dense sampling, small slack for
+		// the sampling itself).
+		const slack = 1e-9
+		if d := hausdorffRings(p, s, 8); d > eps+slack {
+			t.Fatalf("trial %d: original→simplified Hausdorff %g > eps %g", trial, d, eps)
+		}
+		if d := hausdorffRings(s, p, 8); d > eps+slack {
+			t.Fatalf("trial %d: simplified→original Hausdorff %g > eps %g", trial, d, eps)
+		}
+	}
+}
+
+func TestSimplifyPolygonReduces(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := noisyRing(rng, 0, 0, 5, 0.05, 200)
+	s := SimplifyPolygon(p, 0.2)
+	if len(s) >= len(p)/2 {
+		t.Fatalf("expected substantial reduction, got %d of %d vertices", len(s), len(p))
+	}
+}
+
+func TestSimplifyPolygonEdgeCases(t *testing.T) {
+	tri := Poly(Pt(0, 0), Pt(2, 4), Pt(4, 0))
+	if got := SimplifyPolygon(tri, 1); len(got) != 3 {
+		t.Fatalf("triangle must be untouched, got %d vertices", len(got))
+	}
+	sq := Poly(Pt(0, 0), Pt(0, 4), Pt(4, 4), Pt(4, 0))
+	if got := SimplifyPolygon(sq, 10); len(got) != 4 {
+		t.Fatalf("quad must be untouched, got %d vertices", len(got))
+	}
+	rng := rand.New(rand.NewSource(3))
+	p := noisyRing(rng, 0, 0, 5, 0.3, 50)
+	if got := SimplifyPolygon(p, 0); len(got) != len(p) {
+		t.Fatalf("eps=0 must be a no-op")
+	}
+	// A near-collinear sliver must not collapse below a ring.
+	sliver := Poly(Pt(0, 0), Pt(1, 1e-9), Pt(2, 0), Pt(3, 1e-9), Pt(4, 0), Pt(2, -1e-9))
+	if got := SimplifyPolygon(sliver, 1); len(got) < 3 {
+		t.Fatalf("sliver collapsed to %d vertices", len(got))
+	}
+}
+
+func TestSimplifyRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	r := Rgn(noisyRing(rng, 0, 0, 5, 0.2, 60), noisyRing(rng, 20, 0, 3, 0.2, 40))
+	s := SimplifyRegion(r, 0.25)
+	if len(s) != 2 {
+		t.Fatalf("polygon count changed")
+	}
+	if r.BoundingBox() != s.BoundingBox() {
+		t.Fatalf("region bounding box changed")
+	}
+	if s.NumEdges() >= r.NumEdges() {
+		t.Fatalf("no reduction: %d vs %d edges", s.NumEdges(), r.NumEdges())
+	}
+	// eps ≤ 0 returns the region unchanged (same backing storage).
+	if u := SimplifyRegion(r, 0); u.NumEdges() != r.NumEdges() {
+		t.Fatalf("eps=0 must be a no-op")
+	}
+}

@@ -275,17 +275,42 @@ func (s *Store) recover(seqs []uint64) error {
 		s.corruption = corr.String()
 		s.log.Warn("persist: discarding torn log tail", "log", walName(s.seq), "at", corr.String(), "intact_records", len(recs))
 	}
-	for _, rec := range recs {
-		if err := s.apply(rec); err != nil {
-			// A record that does not apply cannot arise from our own
-			// apply-then-log ordering; tolerate it anyway (version skew, a
-			// hand-edited directory) the same way as a torn tail: keep
-			// what is consistent, warn, carry on.
-			s.skipped++
-			s.log.Warn("persist: skipping unreplayable record", "op", rec.Op.String(), "id", rec.ID, "err", err)
-			continue
+	// Replay consecutive OpAdd runs through the bulk path: a log written by
+	// a bulk ingest replays with one batched recomputation instead of one
+	// 2(n−1)-pair delta per record. A failing run falls back to per-record
+	// replay so a single bad record still only loses itself.
+	for i := 0; i < len(recs); {
+		j := i
+		for j < len(recs) && recs[j].Op == wal.OpAdd {
+			j++
 		}
-		s.replayed++
+		if j-i > 1 {
+			bulk := make([]config.BulkRegion, j-i)
+			for k, rec := range recs[i:j] {
+				bulk[k] = config.BulkRegion{ID: rec.ID, Name: rec.Name, Color: rec.Color, Geometry: rec.Geometry}
+			}
+			if err := s.tr.BulkAddRegions(bulk); err == nil {
+				s.replayed += j - i
+				i = j
+				continue
+			}
+		}
+		if j == i {
+			j++ // single non-add record
+		}
+		for _, rec := range recs[i:j] {
+			if err := s.apply(rec); err != nil {
+				// A record that does not apply cannot arise from our own
+				// apply-then-log ordering; tolerate it anyway (version skew,
+				// a hand-edited directory) the same way as a torn tail: keep
+				// what is consistent, warn, carry on.
+				s.skipped++
+				s.log.Warn("persist: skipping unreplayable record", "op", rec.Op.String(), "id", rec.ID, "err", err)
+				continue
+			}
+			s.replayed++
+		}
+		i = j
 	}
 	if err := s.tr.Err(); err != nil {
 		return fmt.Errorf("persist: tracked store diverged during replay: %w", err)
@@ -386,6 +411,36 @@ func (s *Store) RenameRegion(oldID, newID string) error {
 func (s *Store) SetRegionGeometry(id string, g geom.Region) error {
 	return s.logged(wal.Record{Op: wal.OpSetGeometry, ID: id, Geometry: g},
 		func() error { return s.tr.SetRegionGeometry(id, g) })
+}
+
+// BulkAddRegions applies and logs a streamed bulk ingest as one edit: the
+// tracked store advances through a single batched recomputation
+// (config.Tracked.BulkAddRegions), and the WAL receives the whole batch as
+// one contiguous append with one fsync (wal.Writer.AppendBatch). The
+// apply-then-log ordering and the latched-failure contract match the
+// per-region edit methods.
+func (s *Store) BulkAddRegions(regions []config.BulkRegion) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return fmt.Errorf("persist: store failed earlier: %w", s.err)
+	}
+	if len(regions) == 0 {
+		return nil
+	}
+	if err := s.tr.BulkAddRegions(regions); err != nil {
+		return err
+	}
+	recs := make([]wal.Record, len(regions))
+	for i, r := range regions {
+		recs[i] = wal.Record{Op: wal.OpAdd, ID: r.ID, Name: r.Name, Color: r.Color, Geometry: r.Geometry}
+	}
+	if err := s.w.AppendBatch(recs); err != nil {
+		s.err = err
+		s.log.Error("persist: WAL batch append failed; refusing further edits", "err", err)
+		return fmt.Errorf("persist: bulk ingest applied in memory but not logged: %w", err)
+	}
+	return nil
 }
 
 // Snapshot writes the next snapshot generation and truncates the log:

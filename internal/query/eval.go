@@ -33,6 +33,7 @@ type Evaluator struct {
 	relCache  map[[2]string]core.Relation
 	pctCache  map[[2]string]core.PercentMatrix
 	attrs     map[string]func(*config.Region) string
+	attrIdx   map[string]map[string][]string
 }
 
 // NewEvaluator prepares an evaluator for the configuration. The built-in
@@ -71,9 +72,37 @@ func NewEvaluator(img *config.Image) (*Evaluator, error) {
 }
 
 // RegisterAttr adds a thematic attribute accessor usable in attribute
-// conditions.
+// conditions. The accessor must be a pure function of the region (the
+// secondary attribute index memoises its values); re-registering a name
+// drops that attribute's index so the new accessor takes effect.
 func (e *Evaluator) RegisterAttr(name string, fn func(*config.Region) string) {
 	e.attrs[name] = fn
+	delete(e.attrIdx, name)
+}
+
+// attrIndex returns the secondary hash index for one thematic attribute —
+// value ↦ sorted region ids — building it lazily on first use (one pass
+// over the configuration snapshot, then every attribute filter and planner
+// selectivity count is a map lookup). The evaluator's region snapshot is
+// immutable, so an index never goes stale; only RegisterAttr invalidates.
+// The caller must have checked that the attribute exists in e.attrs.
+func (e *Evaluator) attrIndex(attr string) map[string][]string {
+	if idx, ok := e.attrIdx[attr]; ok {
+		return idx
+	}
+	fn := e.attrs[attr]
+	idx := make(map[string][]string)
+	// e.ids is sorted, so every bucket comes out sorted — the form
+	// intersectSorted/subtractSorted need.
+	for _, id := range e.ids {
+		v := fn(e.regs[id])
+		idx[v] = append(idx[v], id)
+	}
+	if e.attrIdx == nil {
+		e.attrIdx = make(map[string]map[string][]string)
+	}
+	e.attrIdx[attr] = idx
+	return idx
 }
 
 // UseStore wires a maintained core.RelationStore into the evaluator:

@@ -133,14 +133,10 @@ func (e *Evaluator) buildPlan(q *Query) *Plan {
 			}
 		case AttrCond:
 			sel := 0.5
-			fn, ok := e.attrs[cc.Attr]
-			if ok && !isParam(cc.Value) {
-				match := 0
-				for _, id := range e.ids {
-					if r := e.regs[id]; r != nil && fn(r) == cc.Value {
-						match++
-					}
-				}
+			if _, ok := e.attrs[cc.Attr]; ok && !isParam(cc.Value) {
+				// Exact count through the secondary attribute index: one
+				// map lookup instead of a scan over the configuration.
+				match := len(e.attrIndex(cc.Attr)[cc.Value])
 				sel = clampSel(float64(match) / float64(n))
 				if cc.Negated {
 					sel = 1 - sel
@@ -333,17 +329,19 @@ func (e *Evaluator) buildCandidates(q *Query) (map[string][]string, error) {
 				if cc.Var != v {
 					continue
 				}
-				fn, ok := e.attrs[cc.Attr]
-				if !ok {
+				if _, ok := e.attrs[cc.Attr]; !ok {
 					return nil, fmt.Errorf("query: unknown attribute %q in %v", cc.Attr, cc)
 				}
-				var keep []string
-				for _, id := range cand {
-					if (fn(e.regs[id]) == cc.Value) != cc.Negated {
-						keep = append(keep, id)
-					}
+				// The secondary attribute index answers the filter with one
+				// sorted-set operation: intersect with the matching bucket,
+				// or subtract it for a negated condition — identical to the
+				// per-region accessor scan it replaces.
+				match := e.attrIndex(cc.Attr)[cc.Value]
+				if cc.Negated {
+					cand = subtractSorted(cand, match)
+				} else {
+					cand = intersectSorted(cand, match)
 				}
-				cand = keep
 			}
 		}
 		candidates[v] = cand
@@ -569,6 +567,33 @@ func (e *Evaluator) runJoin(ctx context.Context, q *Query, plan *Plan, ex *execS
 	}
 	sortBindings(out, q.Vars)
 	return out, nil
+}
+
+// subtractSorted returns the elements of a not present in b (both ascending
+// sorted) with a single merge pass — the negated-attribute counterpart of
+// intersectSorted.
+func subtractSorted(a, b []string) []string {
+	if len(a) == 0 {
+		return nil
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // intersectSorted intersects two ascending sorted string slices with a

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"time"
 
 	"cardirect/internal/config"
 	"cardirect/internal/core"
@@ -397,6 +398,64 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	return writeJSON(w, http.StatusOK, out)
+}
+
+type bulkResponse struct {
+	// Added is the number of regions ingested.
+	Added int `json:"added"`
+	// Batches is the number of batched recomputations the ingest cost —
+	// one per request, versus one 2(n−1)-pair delta per region on the
+	// per-region edit path.
+	Batches    int   `json:"batches"`
+	DurationNs int64 `json:"duration_ns"`
+}
+
+// handleBulk ingests a stream of regions — NDJSON, one region object per
+// line in the POST /api/regions shape ({"id", "name", "color", "wkt" |
+// "geojson"}) — as ONE edit: the whole stream is decoded and validated,
+// then applied through Editor.BulkAddRegions, so the relation store pays a
+// single batched recomputation (and the durable store a single batched WAL
+// append with one fsync) regardless of how many regions arrive. The ingest
+// is atomic: any undecodable line, invalid geometry or duplicate id
+// rejects the whole stream with nothing applied. Oversized streams map to
+// 413 via the route's body cap (Options.MaxBulkBytes).
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) error {
+	start := time.Now()
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var regions []config.BulkRegion
+	for {
+		var line regionUpsert
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return failf(http.StatusRequestEntityTooLarge, "serve: request body over %d bytes", tooLarge.Limit)
+			}
+			return failf(http.StatusBadRequest, "serve: decoding bulk line %d: %v", len(regions)+1, err)
+		}
+		if line.ID == "" {
+			return failf(http.StatusBadRequest, "serve: bulk line %d: missing region id", len(regions)+1)
+		}
+		g, err := line.geometry()
+		if err != nil {
+			return failf(http.StatusBadRequest, "serve: bulk line %d (%s): %v", len(regions)+1, line.ID, err)
+		}
+		regions = append(regions, config.BulkRegion{ID: line.ID, Name: line.Name, Color: line.Color, Geometry: g})
+	}
+	if len(regions) == 0 {
+		return failf(http.StatusBadRequest, "serve: empty bulk stream")
+	}
+	if err := s.edit.BulkAddRegions(regions); err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, bulkResponse{
+		Added:      len(regions),
+		Batches:    1,
+		DurationNs: time.Since(start).Nanoseconds(),
+	})
 }
 
 type selectResponse struct {

@@ -38,12 +38,21 @@ type Editor interface {
 	RemoveRegion(id string) error
 	RenameRegion(oldID, newID string) error
 	SetRegionGeometry(id string, g geom.Region) error
+	// BulkAddRegions ingests many regions as ONE edit — one batched
+	// relation recomputation (and, for the durable store, one batched WAL
+	// append with a single fsync) instead of a 2(n−1)-pair delta per
+	// region.
+	BulkAddRegions(regions []config.BulkRegion) error
 }
 
 // Options configures a Server.
 type Options struct {
 	// MaxBodyBytes caps request body size; values ≤ 0 mean 1 MiB.
 	MaxBodyBytes int64
+	// MaxBulkBytes caps the POST /api/bulk request body, which carries
+	// whole worlds and needs more room than ordinary edits; values ≤ 0
+	// mean 64 MiB. Oversized streams map to 413 like every other body.
+	MaxBulkBytes int64
 	// RequestTimeout, when positive, bounds every request's context; work
 	// that honors the context (batch recompute, query joins, selections)
 	// aborts with 504 when it expires.
@@ -82,6 +91,9 @@ var metrics = expvar.NewMap("cardirectd")
 func New(tr *config.Tracked, opt Options) *Server {
 	if opt.MaxBodyBytes <= 0 {
 		opt.MaxBodyBytes = 1 << 20
+	}
+	if opt.MaxBulkBytes <= 0 {
+		opt.MaxBulkBytes = 64 << 20
 	}
 	if opt.Logger == nil {
 		opt.Logger = slog.Default()
@@ -140,6 +152,7 @@ func (s *Server) routes() {
 	s.handle("GET /api/relation", "relation", s.handleRelation)
 	s.handle("GET /api/relations", "relations", s.handleRelations)
 	s.handle("POST /api/batch", "batch", s.handleBatch)
+	s.handleLimit("POST /api/bulk", "bulk", s.opt.MaxBulkBytes, s.handleBulk)
 	s.handle("GET /api/select", "select", s.handleSelect)
 	s.handle("POST /api/query", "query", s.handleQuery)
 	s.handle("GET /api/stats", "stats", s.handleStats)
@@ -172,6 +185,12 @@ func (w *statusWriter) WriteHeader(code int) {
 // gauge, per-route counters and latency, body-size limit, request timeout,
 // error mapping and the structured access log.
 func (s *Server) handle(pattern, name string, h handlerFunc) {
+	s.handleLimit(pattern, name, s.opt.MaxBodyBytes, h)
+}
+
+// handleLimit is handle with a per-route body-size cap (the bulk ingest
+// route carries whole worlds and gets its own limit).
+func (s *Server) handleLimit(pattern, name string, bodyLimit int64, h handlerFunc) {
 	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		metrics.Add("inflight", 1)
@@ -183,7 +202,7 @@ func (s *Server) handle(pattern, name string, h handlerFunc) {
 			r = r.WithContext(ctx)
 		}
 		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
+			r.Body = http.MaxBytesReader(w, r.Body, bodyLimit)
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		if err := h(sw, r); err != nil {

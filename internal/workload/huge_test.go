@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cardirect/internal/geom"
+)
+
+// checkWorld validates one generated world: every region's rings are
+// simple, non-degenerate (positive area, ≥3 edges) and closed by
+// construction (geom.Polygon stores no repeated first vertex), and every
+// bounding box is contained in the window.
+func checkWorld(t *testing.T, regions []geom.Region, window geom.Rect) {
+	t.Helper()
+	for i, r := range regions {
+		if err := r.Validate(); err != nil {
+			t.Fatalf("region %d: %v", i, err)
+		}
+		for pi, p := range r {
+			if p.NumEdges() < 3 {
+				t.Fatalf("region %d polygon %d: %d edges", i, pi, p.NumEdges())
+			}
+			if a := p.Area(); a <= 0 {
+				t.Fatalf("region %d polygon %d: area %g", i, pi, a)
+			}
+		}
+		b := r.BoundingBox()
+		if b.MinX < window.MinX || b.MinY < window.MinY || b.MaxX > window.MaxX || b.MaxY > window.MaxY {
+			t.Fatalf("region %d box %+v escapes window %+v", i, b, window)
+		}
+	}
+}
+
+// sameWorlds reports whether two generated worlds are vertex-identical.
+func sameWorlds(a, b []geom.Region) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for pi := range a[i] {
+			if len(a[i][pi]) != len(b[i][pi]) {
+				return false
+			}
+			for vi := range a[i][pi] {
+				if !a[i][pi][vi].Eq(b[i][pi][vi]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestZipf(t *testing.T) {
+	window := geom.Rect{MinX: -500, MinY: -200, MaxX: 700, MaxY: 900}
+	regions := New(7).Zipf(window, 400, 4096)
+	if len(regions) != 400 {
+		t.Fatalf("got %d regions", len(regions))
+	}
+	checkWorld(t, regions, window)
+
+	// The zipfian promise: sizes and edge counts span orders of magnitude,
+	// rank 0 being the giant.
+	big := regions[0].BoundingBox()
+	small := regions[len(regions)-1].BoundingBox()
+	ratio := math.Min(big.Width(), big.Height()) / math.Max(small.Width(), small.Height())
+	if ratio < 50 {
+		t.Errorf("size ratio biggest/smallest = %g, want a heavy tail", ratio)
+	}
+	if e := regions[0].NumEdges(); e < 1024 {
+		t.Errorf("rank-0 region has %d edges, want the dense head", e)
+	}
+	if e := regions[len(regions)-1].NumEdges(); e > 8 {
+		t.Errorf("tail region has %d edges, want a simple tail", e)
+	}
+
+	if !sameWorlds(regions, New(7).Zipf(window, 400, 4096)) {
+		t.Error("equal seeds produced different worlds")
+	}
+	if sameWorlds(regions, New(8).Zipf(window, 400, 4096)) {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestUrbanRural(t *testing.T) {
+	window := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 800}
+	regions := New(11).UrbanRural(window, 500, 6, 12)
+	if len(regions) != 500 {
+		t.Fatalf("got %d regions", len(regions))
+	}
+	checkWorld(t, regions, window)
+
+	// Clustering: the urban 4/5 majority must pack into small city discs,
+	// so the median region is far smaller than the window.
+	cityR := 0.03 * 800.0
+	urbanOK := 0
+	for i, r := range regions {
+		if i%5 == 4 {
+			continue // rural
+		}
+		b := r.BoundingBox()
+		if b.Width() < cityR && b.Height() < cityR {
+			urbanOK++
+		}
+	}
+	if urbanOK < 350 {
+		t.Errorf("only %d urban parcels are city-sized", urbanOK)
+	}
+
+	if !sameWorlds(regions, New(11).UrbanRural(window, 500, 6, 12)) {
+		t.Error("equal seeds produced different worlds")
+	}
+	if sameWorlds(regions, New(12).UrbanRural(window, 500, 6, 12)) {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestZipfPanicsAndClamps(t *testing.T) {
+	window := geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf(0 regions) did not panic")
+		}
+	}()
+	// maxEdges below 3 clamps rather than panics.
+	if regions := New(1).Zipf(window, 5, 1); len(regions) != 5 {
+		t.Error("maxEdges clamp failed")
+	}
+	checkWorld(t, New(2).UrbanRural(window, 10, 0, 1), window) // cities/edges clamp
+	New(1).Zipf(window, 0, 64)
+}

@@ -54,6 +54,46 @@ func (g *Generator) StarPolygon(cx, cy, rMin, rMax float64, n int) geom.Polygon 
 	return p.Clockwise()
 }
 
+// smoothStar returns a coastline-like simple polygon with exactly n ≥ 3
+// edges: a low-frequency harmonic radius profile around (cx, cy) bounded to
+// [0.37r, 0.98r] with only tiny per-vertex jitter. Unlike StarPolygon, whose
+// independent per-vertex radii put high-frequency noise on every edge, the
+// boundary here is smooth at the vertex scale, so densely-digitised regions
+// respond to error-bounded simplification the way real administrative
+// geometry does (thousands of raw vertices, dozens of significant ones).
+// Star-shapedness about the centre (radius is always positive, angles
+// strictly increasing) guarantees simplicity.
+func (g *Generator) smoothStar(cx, cy, r float64, n int) geom.Polygon {
+	if n < 3 {
+		panic(fmt.Sprintf("workload: smoothStar needs n ≥ 3, got %d", n))
+	}
+	const harmonics = 5
+	amp := make([]float64, harmonics)
+	phase := make([]float64, harmonics)
+	sum := 0.0
+	for k := 0; k < harmonics; k++ {
+		amp[k] = g.uniform(0, 0.3/float64(k+1))
+		phase[k] = g.uniform(0, 2*math.Pi)
+		sum += amp[k]
+	}
+	if sum > 0.3 {
+		for k := range amp {
+			amp[k] *= 0.3 / sum
+		}
+	}
+	p := make(geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * (float64(i) + 0.1 + 0.8*g.rng.Float64()) / float64(n)
+		rad := 0.675
+		for k := 0; k < harmonics; k++ {
+			rad += amp[k] * math.Cos(float64(k+1)*th+phase[k])
+		}
+		rad += g.uniform(-0.001, 0.001)
+		p[i] = geom.Pt(cx+r*rad*math.Cos(th), cy+r*rad*math.Sin(th))
+	}
+	return p.Clockwise()
+}
+
 // ConvexPolygon returns a convex polygon with exactly n ≥ 3 edges inscribed
 // in the circle of radius r around (cx, cy): jittered angles, fixed radius.
 func (g *Generator) ConvexPolygon(cx, cy, r float64, n int) geom.Polygon {
@@ -234,6 +274,95 @@ func (g *Generator) Cluster(n, groups, edgesPerRegion int) []geom.Region {
 		// Radii close to the group radius: members straddle each other's
 		// bounding boxes instead of nesting strictly inside single tiles.
 		out = append(out, geom.Rgn(g.StarPolygon(cx, cy, 0.6*groupR, groupR, e)))
+	}
+	return out
+}
+
+// Zipf returns n regions inside the window whose sizes AND edge counts
+// both follow a zipfian (power-law) rank distribution: a handful of giant,
+// densely-digitised regions — three orders of magnitude bigger and more
+// detailed than the median — above a long tail of small simple ones. This
+// is the huge-world shape (administrative areas, lakes, land cover) the
+// level-of-detail tier exists for: all-pairs cost concentrates in the few
+// giant primaries, exactly where simplification pays. Every region is a
+// single star polygon fully contained in the window; equal seeds produce
+// identical worlds.
+func (g *Generator) Zipf(window geom.Rect, n, maxEdges int) []geom.Region {
+	if n < 1 {
+		panic("workload: Zipf needs at least one region")
+	}
+	if maxEdges < 3 {
+		maxEdges = 3
+	}
+	rMax := 0.25 * math.Min(window.Width(), window.Height())
+	out := make([]geom.Region, 0, n)
+	// Rank ordering IS the size ordering: out[0] is the biggest region.
+	for i := 0; i < n; i++ {
+		r := rMax / math.Pow(float64(i+1), 0.9)
+		if minR := 1e-4 * rMax; r < minR {
+			r = minR
+		}
+		// Steeper decay for detail than for size: edge counts reach the
+		// simple tail within a few hundred ranks.
+		edges := int(float64(maxEdges) / math.Pow(float64(i+1), 1.3))
+		if edges < 3 {
+			edges = 3
+		}
+		cx := g.uniform(window.MinX+r, window.MaxX-r)
+		cy := g.uniform(window.MinY+r, window.MaxY-r)
+		// Giants carry smooth, over-digitised coastlines (the shapes the
+		// LoD tier simplifies); the simple tail keeps the noisy stars.
+		if edges >= 64 {
+			out = append(out, geom.Rgn(g.smoothStar(cx, cy, r, edges)))
+		} else {
+			out = append(out, geom.Rgn(g.StarPolygon(cx, cy, 0.5*r, r, edges)))
+		}
+	}
+	return out
+}
+
+// UrbanRural returns n regions inside the window in a clustered
+// urban/rural pattern: a few dense city clusters hold roughly 80% of the
+// regions (small parcels packed around each city centre, bounding boxes
+// overlapping heavily), the remaining 20% are scattered rural regions up
+// to an order of magnitude larger. Clustered workloads defeat coarse
+// single-tile pruning inside a city while inter-city pairs still answer in
+// O(1) — the adversarial counterpart of Zipf for the huge-world tier.
+// Every region is fully contained in the window; equal seeds produce
+// identical worlds.
+func (g *Generator) UrbanRural(window geom.Rect, n, cities, edges int) []geom.Region {
+	if n < 1 {
+		panic("workload: UrbanRural needs at least one region")
+	}
+	if cities < 1 {
+		cities = 1
+	}
+	e := maxInt(3, edges)
+	w, h := window.Width(), window.Height()
+	cityR := 0.03 * math.Min(w, h)
+	centres := make([]geom.Point, cities)
+	for i := range centres {
+		centres[i] = geom.Pt(
+			g.uniform(window.MinX+2*cityR, window.MaxX-2*cityR),
+			g.uniform(window.MinY+2*cityR, window.MaxY-2*cityR),
+		)
+	}
+	out := make([]geom.Region, 0, n)
+	for i := 0; i < n; i++ {
+		if i%5 == 4 {
+			// Rural: uniform placement, up to 10× a parcel's radius.
+			r := g.uniform(0.02, 0.2) * cityR * 10
+			cx := g.uniform(window.MinX+r, window.MaxX-r)
+			cy := g.uniform(window.MinY+r, window.MaxY-r)
+			out = append(out, geom.Rgn(g.StarPolygon(cx, cy, 0.5*r, r, e)))
+			continue
+		}
+		// Urban: parcels packed inside one city's radius.
+		c := centres[i%cities]
+		r := g.uniform(0.05, 0.25) * cityR
+		cx := c.X + g.uniform(-1, 1)*(cityR-r)
+		cy := c.Y + g.uniform(-1, 1)*(cityR-r)
+		out = append(out, geom.Rgn(g.StarPolygon(cx, cy, 0.5*r, r, e)))
 	}
 	return out
 }
