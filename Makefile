@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race smoke fuzz-smoke bench bench-short bench-trend bench-baseline experiments
+.PHONY: check vet build test race smoke lint fuzz-smoke bench bench-short bench-trend bench-baseline experiments
 
 check: vet build race smoke
 
@@ -31,6 +31,16 @@ race:
 smoke:
 	$(GO) test -count=1 -run 'TestCardirectdSmoke|TestCardirectdCrashRecovery' ./cmd/cardirectd
 
+# Static analysis beyond vet. staticcheck is optional tooling: run it when
+# the binary is on PATH, skip with a note when it is not (CI images and the
+# dev container may not ship it; nothing is downloaded here).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; ran go vet only"; \
+	fi
+
 # Short fuzz runs of the crash-surface decoders — WAL replay and the
 # snapshot pct attribute — plus the planner differential: random queries
 # over a fixed world must bind identically with the planner on and off.
@@ -40,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParsePct -fuzztime=10s ./internal/config
 	$(GO) test -run='^$$' -fuzz=FuzzPlannerDifferential -fuzztime=10s ./internal/query
 	$(GO) test -run='^$$' -fuzz=FuzzLoDDifferential -fuzztime=10s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzSolverDifferential -fuzztime=10s ./internal/reason
 
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:
@@ -51,7 +62,8 @@ bench-short:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
 # Regression gate over the raw-speed suite (E21), the query-planner
-# suite (E22) and the huge-world tier (E23): re-measure and compare
+# suite (E22), the huge-world tier (E23) and the reasoning pipeline
+# (E24): re-measure and compare
 # against the committed baselines;
 # timing metrics may not grow — and speedups may not shrink — by more
 # than TREND_THRESHOLD (fraction). CI runs the quick flavour against
@@ -69,14 +81,17 @@ bench-trend:
 	$(GO) run ./cmd/cdrbench -quick -only E21 -compare baselines/BENCH_E21_quick.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -quick -only E22 -compare baselines/BENCH_E22_quick.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -quick -only E23 -compare baselines/BENCH_E23_quick.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -quick -only E24 -compare baselines/BENCH_E24_quick.json -threshold $(TREND_THRESHOLD)
 
 # Full-size trend checks (minutes, not seconds). The full E23 run also
 # asserts the huge-world acceptance floor (>=10x on 10^5 regions) inside
-# the experiment itself.
+# the experiment itself, and the full E24 run asserts the parallel-solver
+# floor (>=2x on the adversarial networks) the same way.
 bench-trend-full:
 	$(GO) run ./cmd/cdrbench -only E21 -compare baselines/BENCH_E21.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -only E22 -compare baselines/BENCH_E22.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -only E23 -compare baselines/BENCH_E23.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -only E24 -compare baselines/BENCH_E24.json -threshold $(TREND_THRESHOLD)
 
 # Re-record the committed baselines (run on a quiet machine, then commit
 # baselines/*.json). -json writes straight into baselines/, with a _quick
@@ -88,6 +103,8 @@ bench-baseline:
 	$(GO) run ./cmd/cdrbench -only E22 -json
 	$(GO) run ./cmd/cdrbench -quick -only E23 -json
 	$(GO) run ./cmd/cdrbench -only E23 -json
+	$(GO) run ./cmd/cdrbench -quick -only E24 -json
+	$(GO) run ./cmd/cdrbench -only E24 -json
 
 experiments:
 	$(GO) run ./cmd/cdrbench -quick

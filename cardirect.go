@@ -186,6 +186,20 @@ type (
 	Witness = reason.Witness
 	// SolveOptions bounds the consistency search.
 	SolveOptions = reason.SolveOptions
+	// CheckOptions configures the staged consistency pipeline Check.
+	CheckOptions = reason.CheckOptions
+	// CheckResult is Check's outcome: satisfiability, witness, stage stats.
+	CheckResult = reason.CheckResult
+	// CheckStats reports what each stage of the consistency pipeline did.
+	CheckStats = reason.CheckStats
+	// TopoConstraint is one RCC-8 constraint checked jointly with the
+	// directional network.
+	TopoConstraint = reason.TopoConstraint
+	// RCC8Set is a set of RCC-8 base relations (disjunctive topology).
+	RCC8Set = topo.RCC8Set
+	// RCC8Net is an RCC-8 constraint network with path-consistency
+	// propagation.
+	RCC8Net = topo.RCC8Net
 )
 
 var (
@@ -202,7 +216,26 @@ var (
 	CompositionSets = reason.CompositionSets
 	// NewNetwork creates an empty constraint network.
 	NewNetwork = reason.NewNetwork
+	// ErrSearchLimit reports an exhausted scenario budget; matched with
+	// errors.Is.
+	ErrSearchLimit = reason.ErrSearchLimit
+	// ErrInconsistent reports a certainly-inconsistent network (returned by
+	// Entail); matched with errors.Is.
+	ErrInconsistent = reason.ErrInconsistent
+	// ParseRCC8Set parses "TPP|NTPP"-style RCC-8 set notation ("*" = all).
+	ParseRCC8Set = topo.ParseRCC8Set
+	// RCC8Of builds an RCC8Set from base relations.
+	RCC8Of = topo.RCC8Of
+	// ComposeRCC8 is the RCC-8 composition table lookup.
+	ComposeRCC8 = topo.ComposeRCC8
+	// ComposeRCC8Sets lifts ComposeRCC8 to disjunctive sets.
+	ComposeRCC8Sets = topo.ComposeRCC8Sets
+	// NewRCC8Net creates an RCC-8 constraint network.
+	NewRCC8Net = topo.NewRCC8Net
 )
+
+// RCC8All is the universal RCC-8 relation set.
+const RCC8All = topo.RCC8All
 
 // CARDIRECT configuration store (§4).
 type (

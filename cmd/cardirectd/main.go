@@ -70,6 +70,8 @@ func run(args []string, stdout *os.File) error {
 		fsyncPolicy     = fs.String("fsync", "always", "WAL fsync policy with -data: always, interval or never")
 		fsyncInterval   = fs.Duration("fsync-interval", time.Second, "fsync cadence under -fsync interval")
 		snapOnExit      = fs.Bool("snapshot-on-exit", true, "with -data, write a final snapshot during graceful shutdown")
+		solveWorkers    = fs.Int("solve-workers", 0, "parallel consistency-solver fan width for /v1/reason/check (0 = reason default)")
+		maxNetwork      = fs.Int("max-network", 64, "max variables a /v1/reason request may declare (oversized networks get 413)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,6 +141,8 @@ func run(args []string, stdout *os.File) error {
 		Workers:        *workers,
 		Logger:         logger,
 		Persist:        ps,
+		SolveWorkers:   *solveWorkers,
+		MaxNetwork:     *maxNetwork,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -74,7 +75,18 @@ func getJSON(t *testing.T, base, path string, out any) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
 		}
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading: %v", path, err)
+		}
+		// Unwrap the {"data": ...} response envelope.
+		var env struct {
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(raw, &env); err == nil && env.Data != nil {
+			raw = env.Data
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
 			t.Fatalf("GET %s: decoding: %v", path, err)
 		}
 		return
@@ -105,9 +117,19 @@ func TestCardirectdSmoke(t *testing.T) {
 	var rel struct {
 		Relation string `json:"relation"`
 	}
-	getJSON(t, base, "/api/relation?primary=attica&reference=peloponnesos", &rel)
+	getJSON(t, base, "/v1/relation?primary=attica&reference=peloponnesos", &rel)
 	if rel.Relation == "" {
 		t.Fatal("empty relation")
+	}
+
+	// The legacy alias answers identically but flags its deprecation.
+	resp, err := http.Get(base + "/api/relation?primary=attica&reference=peloponnesos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy /api path missing Deprecation header")
 	}
 
 	// Graceful shutdown: SIGTERM drains to exit code 0.

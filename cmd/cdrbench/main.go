@@ -18,6 +18,7 @@
 //	E21    raw-speed suite: SoA kernel, binary recovery, HTTP tail latency
 //	E22    cost-based query planner vs written order; plan cache warm vs cold
 //	E23    huge-world tier: LoD stack vs exact-only; streamed bulk ingest
+//	E24    reasoning pipeline: parallel solver, fragment fast path, joint RCC-8
 //
 // Usage:
 //

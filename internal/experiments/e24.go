@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cardirect/internal/core"
+	"cardirect/internal/geom"
+	"cardirect/internal/reason"
+	"cardirect/internal/topo"
+)
+
+// e24Adversarial builds the hidden-witness network the parallel solver
+// exists for. Edge (a, b) — the branch edge, first in the solver's sorted
+// edge order — carries the disjunction {S, W, N, E, SE}, while (b, a) pins
+// NW. Only SE on (a, b) is converse-compatible with NW (checked by
+// TestMutuallyInverse-style reasoning: the other four contradict NW on one
+// axis), and SE is iterated LAST by the relation-set enumeration, so the
+// sequential solver exhausts four barren top-level branches — each inflated
+// by the decoy edges (a, c_i) ∈ {N, S}, whose contradiction with (b, a)
+// only surfaces at the final edge assignment — before reaching the witness.
+// The parallel solver fans every (relation, Allen-pair) seed of (a, b) at
+// once; the SE seeds decide almost immediately and cancel the barren
+// branches.
+func e24Adversarial(decoys int) *reason.Network {
+	n := reason.NewNetwork()
+	n.AddVariable("a")
+	n.AddVariable("b")
+	branch := core.NewRelationSet(core.S, core.W, core.N, core.E, core.SE)
+	if err := n.Constrain("a", "b", branch); err != nil {
+		panic(err)
+	}
+	if err := n.ConstrainRel("b", "a", core.NW); err != nil {
+		panic(err)
+	}
+	for i := 0; i < decoys; i++ {
+		if err := n.Constrain("a", fmt.Sprintf("c%02d", i), core.NewRelationSet(core.N, core.S)); err != nil {
+			panic(err)
+		}
+	}
+	return n
+}
+
+// e24Verify re-checks every constraint of the adversarial network on a
+// witness with Compute-CDR — correctness before any timing.
+func e24Verify(n *reason.Network, w *reason.Witness, decoys int) error {
+	if w == nil {
+		return fmt.Errorf("E24: adversarial network reported unsatisfiable (it has a witness by construction)")
+	}
+	check := func(x, y string, allowed core.RelationSet) error {
+		got, err := core.ComputeCDR(w.Regions[x], w.Regions[y])
+		if err != nil {
+			return fmt.Errorf("E24: witness region unusable: %w", err)
+		}
+		if !allowed.Contains(got) {
+			return fmt.Errorf("E24: witness violates %s→%s: computed %v, allowed %v", x, y, got, allowed)
+		}
+		return nil
+	}
+	if err := check("a", "b", core.NewRelationSet(core.S, core.W, core.N, core.E, core.SE)); err != nil {
+		return err
+	}
+	if err := check("b", "a", core.NewRelationSet(core.NW)); err != nil {
+		return err
+	}
+	for i := 0; i < decoys; i++ {
+		if err := check("a", fmt.Sprintf("c%02d", i), core.NewRelationSet(core.N, core.S)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// E24Reasoning measures the consistency pipeline behind /v1/reason/check:
+//
+//   - Adversarial hidden-witness networks (see e24Adversarial): the
+//     sequential backtracking solver versus the parallel fan over the
+//     top-level branch choices, first witness wins. Both sides' witnesses
+//     are verified with Compute-CDR BEFORE timing; best-of-three
+//     interleaved runs. The full-mode acceptance floor asserts the
+//     parallel solver at >= 2x even on one core — search-order
+//     diversification, not hardware parallelism, is the win.
+//   - The tractable-fragment fast path: a satisfiable all-singleton
+//     rectangular-block network (box-world relations are always full
+//     blocks) decided constructively by the fragment stage versus the same
+//     network forced through the backtracking solver. The stats counters
+//     are asserted: fast path eligible, decided, solver never entered.
+//   - The combined directional+RCC-8 check: a N b plus a TPP b is jointly
+//     unsatisfiable although the directional network alone is consistent —
+//     Refine accepts it, RefineJoint rejects it. Asserted, reported as a
+//     correctness row.
+//
+// Metric suffixes follow the trend-gate convention: *_ms may not grow and
+// *_speedup may not shrink beyond the threshold.
+func E24Reasoning(o Options) (Report, error) {
+	decoys := 3
+	boxVars := 24
+	if o.Quick {
+		decoys = 2
+		boxVars = 12
+	}
+	metrics := map[string]float64{"decoys": float64(decoys), "box_vars": float64(boxVars)}
+	ctx := context.Background()
+	// Enough workers that every top-level seed of the branch edge gets its
+	// own goroutine — the point is search-order diversification.
+	sopts := reason.SolveOptions{Workers: 64}
+
+	// Correctness first: both solvers find a verified witness.
+	adv := e24Adversarial(decoys)
+	wSeq, err := adv.SolveCtx(ctx, sopts)
+	if err != nil {
+		return Report{}, fmt.Errorf("E24: sequential solve: %w", err)
+	}
+	if err := e24Verify(adv, wSeq, decoys); err != nil {
+		return Report{}, fmt.Errorf("sequential %w", err)
+	}
+	wPar, err := adv.SolveParallel(ctx, sopts)
+	if err != nil {
+		return Report{}, fmt.Errorf("E24: parallel solve: %w", err)
+	}
+	if err := e24Verify(adv, wPar, decoys); err != nil {
+		return Report{}, fmt.Errorf("parallel %w", err)
+	}
+
+	// Best-of-three interleaved timed runs on fresh clones (the solvers do
+	// not mutate the network, but clones keep the comparison honest).
+	nsSeq, nsPar := 0.0, 0.0
+	for i := 0; i < 3; i++ {
+		n := adv.Clone()
+		t := time.Now()
+		if _, err := n.SolveCtx(ctx, sopts); err != nil {
+			return Report{}, err
+		}
+		if d := float64(time.Since(t).Nanoseconds()); nsSeq == 0 || d < nsSeq {
+			nsSeq = d
+		}
+		n = adv.Clone()
+		t = time.Now()
+		if _, err := n.SolveParallel(ctx, sopts); err != nil {
+			return Report{}, err
+		}
+		if d := float64(time.Since(t).Nanoseconds()); nsPar == 0 || d < nsPar {
+			nsPar = d
+		}
+	}
+	speedup := nsSeq / nsPar
+	metrics["seq_solve_ms"] = nsSeq / 1e6
+	metrics["par_solve_ms"] = nsPar / 1e6
+	metrics["parallel_speedup"] = speedup
+	if !o.Quick && speedup < 2 {
+		return Report{}, fmt.Errorf(
+			"E24: parallel solver speedup %.2fx on the %d-decoy adversarial network, want >= 2x", speedup, decoys)
+	}
+
+	// Tractable fragment: axis-aligned boxes only — a box occupies a full
+	// contiguous strip product of any other box's grid, so every pairwise
+	// relation is a singleton rectangular block and the induced network is
+	// in-fragment and satisfiable by construction.
+	rng := rand.New(rand.NewSource(o.Seed))
+	boxes := make([]geom.Region, boxVars)
+	names := make([]string, boxVars)
+	for i := range boxes {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		w, h := 1+rng.Float64()*20, 1+rng.Float64()*20
+		boxes[i] = geom.Rgn(geom.Poly(geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}.Vertices()...))
+		names[i] = fmt.Sprintf("v%03d", i)
+	}
+	// A banded constraint graph (each variable against its next three
+	// neighbours) keeps the forced-solver comparison finite: the full
+	// clique is in-fragment too, but the backtracking solver's search on
+	// it is intractable — which is the point of the fast path, not a
+	// useful thing to sit through in a gated benchmark.
+	frag := reason.NewNetwork()
+	fragEdges := 0
+	for i := 0; i < boxVars; i++ {
+		for j := i + 1; j < boxVars && j <= i+3; j++ {
+			rel, err := core.ComputeCDR(boxes[i], boxes[j])
+			if err != nil {
+				return Report{}, err
+			}
+			if err := frag.ConstrainRel(names[i], names[j], rel); err != nil {
+				return Report{}, err
+			}
+			fragEdges++
+		}
+	}
+	fast, err := frag.Check(ctx, reason.CheckOptions{})
+	if err != nil {
+		return Report{}, err
+	}
+	if !fast.Stats.FastPathEligible || !fast.Stats.FastPathDecided || fast.Stats.SolverBranches != 0 {
+		return Report{}, fmt.Errorf(
+			"E24: in-fragment network did not decide on the fast path: %+v", fast.Stats)
+	}
+	if !fast.Satisfiable {
+		return Report{}, fmt.Errorf("E24: fragment network reported unsat (it came from real boxes)")
+	}
+	slow, err := frag.Check(ctx, reason.CheckOptions{NoFastPath: true, NoParallel: true})
+	if err != nil {
+		return Report{}, err
+	}
+	if !slow.Satisfiable {
+		return Report{}, fmt.Errorf("E24: solver disagrees with the fast path on the fragment network")
+	}
+	nsFast, nsSlow := 0.0, 0.0
+	for i := 0; i < 3; i++ {
+		t := time.Now()
+		if _, err := frag.Check(ctx, reason.CheckOptions{}); err != nil {
+			return Report{}, err
+		}
+		if d := float64(time.Since(t).Nanoseconds()); nsFast == 0 || d < nsFast {
+			nsFast = d
+		}
+		t = time.Now()
+		if _, err := frag.Check(ctx, reason.CheckOptions{NoFastPath: true, NoParallel: true}); err != nil {
+			return Report{}, err
+		}
+		if d := float64(time.Since(t).Nanoseconds()); nsSlow == 0 || d < nsSlow {
+			nsSlow = d
+		}
+	}
+	metrics["fastpath_ms"] = nsFast / 1e6
+	metrics["solver_infragment_ms"] = nsSlow / 1e6
+	metrics["fastpath_speedup"] = nsSlow / nsFast
+
+	// Joint directional+topological rejection: a proper part cannot be
+	// strictly north of its container.
+	joint := reason.NewNetwork()
+	joint.ConstrainRel("a", "b", core.N)
+	dirOnly, err := joint.Check(ctx, reason.CheckOptions{})
+	if err != nil {
+		return Report{}, err
+	}
+	combined, err := joint.Check(ctx, reason.CheckOptions{
+		Topology: []reason.TopoConstraint{{X: "a", Y: "b", Rels: topo.RCC8Of(topo.TPP, topo.NTPP)}},
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	if !dirOnly.Satisfiable || combined.Satisfiable || !combined.Stats.JointRejected {
+		return Report{}, fmt.Errorf(
+			"E24: joint check wrong: dir-only sat=%v, combined sat=%v stats=%+v",
+			dirOnly.Satisfiable, combined.Satisfiable, combined.Stats)
+	}
+
+	body := fmt.Sprintf("adversarial hidden-witness network (%d decoy edges; witness only under the\nlast-iterated branch relation), witnesses verified with Compute-CDR before timing:\n", decoys)
+	body += Table(
+		[]string{"solver", "wall-clock", "speedup"},
+		[][]string{
+			{"sequential backtracking", fmt.Sprintf("%.1f ms", nsSeq/1e6), "1.0x"},
+			{"parallel branch fan", fmt.Sprintf("%.1f ms", nsPar/1e6), fmt.Sprintf("%.1fx", speedup)},
+		},
+	)
+	body += fmt.Sprintf("\ntractable fragment (%d box-world variables, %d singleton block edges):\n",
+		boxVars, fragEdges)
+	body += Table(
+		[]string{"pipeline", "wall-clock", "decided by"},
+		[][]string{
+			{"fast path (Check)", fmt.Sprintf("%.2f ms", nsFast/1e6), "fragment certification, solver never entered"},
+			{"forced solver", fmt.Sprintf("%.2f ms", nsSlow/1e6), "backtracking search"},
+		},
+	)
+	body += "\njoint directional+RCC-8: {a N b} is satisfiable alone, adding a TPP|NTPP b\nrejects the network in the combined closure (Refine alone cannot see it)\n"
+	body += "\nthe parallel win is search-order diversification (first witness cancels the\nbarren branches), so it holds even on one core; `make bench-trend` gates\nthese numbers against the committed baseline\n"
+	return Report{
+		ID:      "E24",
+		Title:   "Reasoning pipeline: parallel solver, fragment fast path, joint RCC-8",
+		Body:    body,
+		Metrics: metrics,
+	}, nil
+}

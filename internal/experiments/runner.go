@@ -917,6 +917,7 @@ func Entries(o Options) []Entry {
 		{"E21", func() (Report, error) { return E21RawSpeed(o) }},
 		{"E22", func() (Report, error) { return E22QueryPlanner(o) }},
 		{"E23", func() (Report, error) { return E23HugeWorld(o) }},
+		{"E24", func() (Report, error) { return E24Reasoning(o) }},
 	}
 }
 

@@ -273,10 +273,42 @@ func TestE23LoDWins(t *testing.T) {
 	}
 }
 
+// TestE24Reasoning runs the reasoning-pipeline experiment in quick mode and
+// enforces the acceptance bars at a noise-robust quick floor: the parallel
+// branch fan must beat the sequential backtracking solver by >= 1.5x on the
+// hidden-witness adversarial network (the full run asserts the >= 2x bar
+// inside the experiment itself), and the fragment fast path must actually
+// decide — witness verification, the fast-path/solver-branch counters, and
+// the joint RCC-8 rejection are all asserted by the experiment before any
+// timing.
+func TestE24Reasoning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E24Reasoning(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"parallel branch fan", "sequential backtracking", "fast path (Check)", "joint directional+RCC-8"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E24 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	for _, key := range []string{"seq_solve_ms", "par_solve_ms", "parallel_speedup",
+		"fastpath_ms", "solver_infragment_ms", "fastpath_speedup"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("E24 metrics missing %q: %v", key, r.Metrics)
+		}
+	}
+	if got := r.Metrics["parallel_speedup"]; got < 1.5 {
+		t.Errorf("parallel solver speedup %.2fx, want >= 1.5x (quick floor; full mode asserts 2x)", got)
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 19 {
-		t.Fatalf("entries = %d, want 19 (E1-E3 … E23)", len(entries))
+	if len(entries) != 20 {
+		t.Fatalf("entries = %d, want 20 (E1-E3 … E24)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

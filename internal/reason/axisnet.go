@@ -77,7 +77,7 @@ func (a *axisNet) propagate() bool {
 // relation) of the path-consistent network, invoking yield for each; it
 // stops when yield returns true. budget is decremented per atomic scenario;
 // when it reaches zero ErrSearchLimit is returned.
-func (a *axisNet) scenarios(budget *int, yield func(*axisNet) bool) error {
+func (a *axisNet) scenarios(budget *scenarioBudget, yield func(*axisNet) bool) error {
 	if !a.propagate() {
 		return nil
 	}
@@ -91,10 +91,9 @@ func (a *axisNet) scenarios(budget *int, yield func(*axisNet) bool) error {
 		}
 	}
 	if bi < 0 {
-		if *budget <= 0 {
+		if !budget.take() {
 			return ErrSearchLimit
 		}
-		*budget--
 		yield(a)
 		return nil
 	}

@@ -135,7 +135,7 @@ func (n *Network) Entail(x, y string) (core.RelationSet, error) {
 	}
 	closure, ok := n.Closure()
 	if !ok {
-		return core.RelationSet{}, fmt.Errorf("reason: network is inconsistent")
+		return core.RelationSet{}, ErrInconsistent
 	}
 	return closure[[2]string{x, y}], nil
 }

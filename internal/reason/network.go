@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"cardirect/internal/core"
 	"cardirect/internal/geom"
@@ -139,11 +140,33 @@ type SolveOptions struct {
 	// MaxScenarios caps the number of atomic axis-scenario pairs examined;
 	// 0 means the default (100000).
 	MaxScenarios int
+	// Workers is the fan width of SolveParallel (ignored by the sequential
+	// entry points); 0 means the default (max(8, GOMAXPROCS)).
+	Workers int
 }
 
 // ErrSearchLimit is returned when Solve exhausts its scenario budget before
 // deciding; the network may still be consistent.
 var ErrSearchLimit = fmt.Errorf("reason: scenario search limit reached")
+
+// scenarioBudget is the shared atomic scenario counter: the sequential
+// solver owns one alone, the parallel solver shares one across every branch
+// goroutine so the total work stays bounded by MaxScenarios regardless of
+// fan width.
+type scenarioBudget struct{ left atomic.Int64 }
+
+func newScenarioBudget(n int) *scenarioBudget {
+	b := &scenarioBudget{}
+	b.left.Store(int64(n))
+	return b
+}
+
+// take consumes one scenario; it reports false when the budget was already
+// exhausted.
+func (b *scenarioBudget) take() bool { return b.left.Add(-1) >= 0 }
+
+// spent reports whether the budget is exhausted.
+func (b *scenarioBudget) spent() bool { return b.left.Load() <= 0 }
 
 // Solve decides consistency of the network over REG* regions and, when
 // consistent, returns a witness realisation. The decision procedure
@@ -167,22 +190,43 @@ func (n *Network) SolveCtx(ctx context.Context, opts SolveOptions) (*Witness, er
 	if opts.MaxScenarios <= 0 {
 		opts.MaxScenarios = 100000
 	}
-	nv := len(n.names)
-	if nv == 0 {
-		return &Witness{Regions: map[string]geom.Region{}}, nil
+	edges, w, done := n.prepare()
+	if done {
+		return w, nil
 	}
-	// Self constraints: a R a holds iff R = B.
+	nv := len(n.names)
+	s := &solver{
+		n:      n,
+		ctx:    ctx,
+		edges:  edges,
+		chosen: make(map[[2]int]edgeChoice, len(edges)),
+		budget: newScenarioBudget(opts.MaxScenarios),
+	}
+	w, err := s.assignEdges(0, newAxisNet(nv), newAxisNet(nv))
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// prepare validates the trivial outcomes shared by every solve entry point
+// (sequential, parallel, fast path) and returns the non-self constrained
+// edges in lexicographic order. done=true means the outcome is decided
+// without search: w non-nil for the empty network, nil for networks with an
+// empty constraint or a self constraint excluding B (a R a holds iff B ∈ R).
+func (n *Network) prepare() (edges [][2]int, w *Witness, done bool) {
+	if len(n.names) == 0 {
+		return nil, &Witness{Regions: map[string]geom.Region{}}, true
+	}
 	for key, rs := range n.cons {
-		if key[0] == key[1] {
-			if !rs.Contains(core.B) {
-				return nil, nil
-			}
+		if key[0] == key[1] && !rs.Contains(core.B) {
+			return nil, nil, true
 		}
 		if rs.IsEmpty() {
-			return nil, nil
+			return nil, nil, true
 		}
 	}
-	edges := make([][2]int, 0, len(n.cons))
+	edges = make([][2]int, 0, len(n.cons))
 	for key := range n.cons {
 		if key[0] != key[1] {
 			edges = append(edges, key)
@@ -194,19 +238,7 @@ func (n *Network) SolveCtx(ctx context.Context, opts SolveOptions) (*Witness, er
 		}
 		return edges[i][1] < edges[j][1]
 	})
-
-	s := &solver{
-		n:      n,
-		ctx:    ctx,
-		edges:  edges,
-		chosen: make(map[[2]int]edgeChoice, len(edges)),
-		budget: opts.MaxScenarios,
-	}
-	w, err := s.assignEdges(0, newAxisNet(nv), newAxisNet(nv))
-	if err != nil {
-		return nil, err
-	}
-	return w, nil
+	return edges, nil, false
 }
 
 // edgeChoice records the decisions for one constrained edge.
@@ -220,7 +252,7 @@ type solver struct {
 	ctx    context.Context
 	edges  [][2]int
 	chosen map[[2]int]edgeChoice
-	budget int
+	budget *scenarioBudget
 }
 
 // assignEdges backtracks over the constrained edges; mx and my are the
@@ -229,7 +261,7 @@ func (s *solver) assignEdges(i int, mx, my *axisNet) (*Witness, error) {
 	if err := s.ctx.Err(); err != nil {
 		return nil, err
 	}
-	if s.budget <= 0 {
+	if s.budget.spent() {
 		return nil, ErrSearchLimit
 	}
 	if i == len(s.edges) {
@@ -270,12 +302,12 @@ func (s *solver) assignEdges(i int, mx, my *axisNet) (*Witness, error) {
 func (s *solver) solveScenarios(mx, my *axisNet) (*Witness, error) {
 	var werr error
 	var witness *Witness
-	err := mx.scenarios(&s.budget, func(sx *axisNet) bool {
+	err := mx.scenarios(s.budget, func(sx *axisNet) bool {
 		if e := s.ctx.Err(); e != nil {
 			werr = e
 			return true
 		}
-		e := my.scenarios(&s.budget, func(sy *axisNet) bool {
+		e := my.scenarios(s.budget, func(sy *axisNet) bool {
 			if ce := s.ctx.Err(); ce != nil {
 				werr = ce
 				return true

@@ -51,6 +51,11 @@ func TestETagRevalidation(t *testing.T) {
 		{"relation", "GET", ts.URL + "/api/relation?primary=attica&reference=crete", nil},
 		{"select", "GET", ts.URL + "/api/select?reference=peloponnesos&relation=N", nil},
 		{"query", "POST", ts.URL + "/api/query", queryBody},
+		{"relations", "GET", ts.URL + "/api/relations", nil},
+		{"stats", "GET", ts.URL + "/api/stats", nil},
+		{"v1.relation", "GET", ts.URL + "/v1/relation?primary=attica&reference=crete", nil},
+		{"v1.relations", "GET", ts.URL + "/v1/relations", nil},
+		{"v1.stats", "GET", ts.URL + "/v1/stats", nil},
 	}
 	tags := map[string]string{}
 	for _, ep := range endpoints {
@@ -85,9 +90,12 @@ func TestETagRevalidation(t *testing.T) {
 			t.Errorf("%s: non-matching If-None-Match: status = %d, want 200", ep.name, code)
 		}
 	}
-	// All three endpoints validate against the same store generation.
-	if tags["relation"] != tags["select"] || tags["select"] != tags["query"] {
-		t.Errorf("endpoints disagree on the generation tag: %v", tags)
+	// Every endpoint validates against the same store generation.
+	for _, ep := range endpoints {
+		if tags[ep.name] != tags["relation"] {
+			t.Errorf("endpoints disagree on the generation tag: %v", tags)
+			break
+		}
 	}
 
 	// An edit bumps the generation: old tags stop matching, new responses

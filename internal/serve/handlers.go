@@ -127,7 +127,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 			return failf(http.StatusInternalServerError, "serve: persistence failed: %s", st.Err)
 		}
 	}
-	return writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Regions: s.tr.Store().Len()})
+	return writeData(w, http.StatusOK, healthResponse{Status: "ok", Regions: s.tr.Store().Len()})
 }
 
 type regionsResponse struct {
@@ -147,7 +147,7 @@ func (s *Server) handleRegionsList(w http.ResponseWriter, r *http.Request) error
 		return err
 	}
 	sort.Slice(out.Regions, func(i, j int) bool { return out.Regions[i].ID < out.Regions[j].ID })
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type regionDetail struct {
@@ -175,7 +175,7 @@ func (s *Server) handleRegionGet(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type regionUpsert struct {
@@ -260,7 +260,7 @@ func (s *Server) respondRegion(w http.ResponseWriter, status int, id string) err
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, status, info)
+	return writeData(w, status, info)
 }
 
 type relationResponse struct {
@@ -292,7 +292,7 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
 		}
 		out.Pct = pctJSON(m)
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type pairJSON struct {
@@ -307,6 +307,9 @@ type relationsResponse struct {
 }
 
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) error {
+	if _, done := s.conditional(w, r); done {
+		return nil
+	}
 	store := s.tr.Store()
 	var out relationsResponse
 	if r.URL.Query().Get("pct") != "" {
@@ -325,7 +328,7 @@ func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) error {
 			out.Pairs = append(out.Pairs, pairJSON{Primary: p.Primary, Reference: p.Reference, Relation: p.Relation.String()})
 		}
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type batchRequest struct {
@@ -397,7 +400,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 			out.Pairs = append(out.Pairs, pairJSON{Primary: p.Primary, Reference: p.Reference, Relation: p.Relation.String()})
 		}
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type bulkResponse struct {
@@ -451,7 +454,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) error {
 	if err := s.edit.BulkAddRegions(regions); err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, bulkResponse{
+	return writeData(w, http.StatusOK, bulkResponse{
 		Added:      len(regions),
 		Batches:    1,
 		DurationNs: time.Since(start).Nanoseconds(),
@@ -511,7 +514,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) error {
 			}
 		}
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type queryRequest struct {
@@ -576,7 +579,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }
 
 type statsResponse struct {
@@ -597,7 +600,7 @@ func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) err
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, info)
+	return writeData(w, http.StatusOK, info)
 }
 
 // handleAdminStatus reports the durability counters of the store.
@@ -606,10 +609,13 @@ func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) error
 	if p == nil {
 		return failf(http.StatusNotFound, "serve: persistence not enabled (start with -data)")
 	}
-	return writeJSON(w, http.StatusOK, p.Status())
+	return writeData(w, http.StatusOK, p.Status())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
+	if _, done := s.conditional(w, r); done {
+		return nil
+	}
 	var out statsResponse
 	err := s.tr.View(func(img *config.Image) error {
 		out.Regions = len(img.Regions)
@@ -620,5 +626,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, out)
+	return writeData(w, http.StatusOK, out)
 }

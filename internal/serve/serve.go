@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"cardirect/internal/config"
@@ -64,10 +65,19 @@ type Options struct {
 	Logger *slog.Logger
 	// Persist, when set, makes the server durable: region edits are routed
 	// through the store (write-ahead logged before acknowledgement) and
-	// the /api/admin/* endpoints operate on it. The store's Tracked() must
+	// the /v1/admin/* endpoints operate on it. The store's Tracked() must
 	// be the same tr handed to New. Nil serves the in-memory shape and the
 	// admin endpoints answer 404.
 	Persist *persist.Store
+	// SolveWorkers is the parallel consistency solver's default fan width
+	// for /v1/reason/check; values ≤ 0 mean the reason package default
+	// (max(8, GOMAXPROCS)).
+	SolveWorkers int
+	// MaxNetwork caps the number of region variables a reasoning request
+	// may declare — the consistency search is worst-case exponential, so
+	// the daemon refuses oversized networks with 413 instead of melting.
+	// Values ≤ 0 mean 64.
+	MaxNetwork int
 }
 
 // Server serves the cardirectd API over one tracked configuration.
@@ -94,6 +104,9 @@ func New(tr *config.Tracked, opt Options) *Server {
 	}
 	if opt.MaxBulkBytes <= 0 {
 		opt.MaxBulkBytes = 64 << 20
+	}
+	if opt.MaxNetwork <= 0 {
+		opt.MaxNetwork = 64
 	}
 	if opt.Logger == nil {
 		opt.Logger = slog.Default()
@@ -141,29 +154,102 @@ func New(tr *config.Tracked, opt Options) *Server {
 // (expvar) and /debug/pprof.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Route describes one mounted API route: the canonical /v1 path, the
+// metrics/log name, and — for routes that predate versioning — the legacy
+// alias still served for compatibility. Deprecated aliases answer with a
+// Deprecation header and a Link to the successor path; /healthz stays
+// undeprecated because operations probes conventionally live there.
+type Route struct {
+	Method     string `json:"method"`
+	Path       string `json:"path"`
+	Name       string `json:"name"`
+	Legacy     string `json:"legacy,omitempty"`
+	Deprecated bool   `json:"deprecated,omitempty"` // the legacy alias is
+}
+
+// routeTable is the single source of truth for the API surface; routes()
+// mounts it and Routes() exposes it (the API.md inventory test walks it).
+func (s *Server) routeTable() []struct {
+	Route
+	limit int64
+	h     handlerFunc
+} {
+	type entry = struct {
+		Route
+		limit int64
+		h     handlerFunc
+	}
+	rt := func(method, path, legacy, name string, deprecated bool, limit int64, h handlerFunc) entry {
+		return entry{Route: Route{Method: method, Path: path, Name: name, Legacy: legacy, Deprecated: deprecated}, limit: limit, h: h}
+	}
+	return []entry{
+		rt("GET", "/v1/healthz", "/healthz", "healthz", false, 0, s.handleHealthz),
+		rt("GET", "/v1/regions", "/api/regions", "regions.list", true, 0, s.handleRegionsList),
+		rt("POST", "/v1/regions", "/api/regions", "regions.add", true, 0, s.handleRegionAdd),
+		rt("GET", "/v1/regions/{id}", "/api/regions/{id}", "regions.get", true, 0, s.handleRegionGet),
+		rt("PUT", "/v1/regions/{id}", "/api/regions/{id}", "regions.set", true, 0, s.handleRegionSet),
+		rt("POST", "/v1/regions/{id}/rename", "/api/regions/{id}/rename", "regions.rename", true, 0, s.handleRegionRename),
+		rt("DELETE", "/v1/regions/{id}", "/api/regions/{id}", "regions.delete", true, 0, s.handleRegionDelete),
+		rt("GET", "/v1/relation", "/api/relation", "relation", true, 0, s.handleRelation),
+		rt("GET", "/v1/relations", "/api/relations", "relations", true, 0, s.handleRelations),
+		rt("POST", "/v1/batch", "/api/batch", "batch", true, 0, s.handleBatch),
+		rt("POST", "/v1/bulk", "/api/bulk", "bulk", true, s.opt.MaxBulkBytes, s.handleBulk),
+		rt("GET", "/v1/select", "/api/select", "select", true, 0, s.handleSelect),
+		rt("POST", "/v1/query", "/api/query", "query", true, 0, s.handleQuery),
+		rt("GET", "/v1/stats", "/api/stats", "stats", true, 0, s.handleStats),
+		rt("POST", "/v1/admin/snapshot", "/api/admin/snapshot", "admin.snapshot", true, 0, s.handleAdminSnapshot),
+		rt("GET", "/v1/admin/status", "/api/admin/status", "admin.status", true, 0, s.handleAdminStatus),
+		rt("POST", "/v1/reason/check", "", "reason.check", false, 0, s.handleReasonCheck),
+		rt("POST", "/v1/reason/entail", "", "reason.entail", false, 0, s.handleReasonEntail),
+		rt("POST", "/v1/reason/compose", "", "reason.compose", false, 0, s.handleReasonCompose),
+	}
+}
+
+// Routes returns the mounted API routes (canonical paths plus legacy
+// aliases), including the debug surface.
+func (s *Server) Routes() []Route {
+	var out []Route
+	for _, e := range s.routeTable() {
+		out = append(out, e.Route)
+	}
+	out = append(out,
+		Route{Method: "GET", Path: "/debug/vars", Name: "debug.vars"},
+		Route{Method: "GET", Path: "/debug/pprof/", Name: "debug.pprof"},
+	)
+	return out
+}
+
 func (s *Server) routes() {
-	s.handle("GET /healthz", "healthz", s.handleHealthz)
-	s.handle("GET /api/regions", "regions.list", s.handleRegionsList)
-	s.handle("POST /api/regions", "regions.add", s.handleRegionAdd)
-	s.handle("GET /api/regions/{id}", "regions.get", s.handleRegionGet)
-	s.handle("PUT /api/regions/{id}", "regions.set", s.handleRegionSet)
-	s.handle("POST /api/regions/{id}/rename", "regions.rename", s.handleRegionRename)
-	s.handle("DELETE /api/regions/{id}", "regions.delete", s.handleRegionDelete)
-	s.handle("GET /api/relation", "relation", s.handleRelation)
-	s.handle("GET /api/relations", "relations", s.handleRelations)
-	s.handle("POST /api/batch", "batch", s.handleBatch)
-	s.handleLimit("POST /api/bulk", "bulk", s.opt.MaxBulkBytes, s.handleBulk)
-	s.handle("GET /api/select", "select", s.handleSelect)
-	s.handle("POST /api/query", "query", s.handleQuery)
-	s.handle("GET /api/stats", "stats", s.handleStats)
-	s.handle("POST /api/admin/snapshot", "admin.snapshot", s.handleAdminSnapshot)
-	s.handle("GET /api/admin/status", "admin.status", s.handleAdminStatus)
+	for _, e := range s.routeTable() {
+		limit := e.limit
+		if limit <= 0 {
+			limit = s.opt.MaxBodyBytes
+		}
+		s.handleLimit(e.Method+" "+e.Path, e.Name, limit, e.h)
+		if e.Legacy != "" {
+			s.handleLimit(e.Method+" "+e.Legacy, e.Name, limit, legacyAlias(e.h, e.Deprecated))
+		}
+	}
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// legacyAlias serves a pre-versioning path through the same handler as its
+// /v1 successor (bodies are bit-identical — the differential test asserts
+// it), stamping deprecated aliases with the Deprecation header (RFC 9745)
+// and a successor-version Link so clients can migrate mechanically.
+func legacyAlias(h handlerFunc, deprecated bool) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		if deprecated {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "<"+strings.Replace(r.URL.Path, "/api/", "/v1/", 1)+`>; rel="successor-version"`)
+		}
+		return h(w, r)
+	}
 }
 
 // handlerFunc is the internal handler shape: returning an error delegates
@@ -181,15 +267,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// handle mounts h at pattern wrapped in the shared instrument: inflight
-// gauge, per-route counters and latency, body-size limit, request timeout,
-// error mapping and the structured access log.
-func (s *Server) handle(pattern, name string, h handlerFunc) {
-	s.handleLimit(pattern, name, s.opt.MaxBodyBytes, h)
-}
-
-// handleLimit is handle with a per-route body-size cap (the bulk ingest
-// route carries whole worlds and gets its own limit).
+// handleLimit mounts h at pattern wrapped in the shared instrument:
+// inflight gauge, per-route counters and latency, a per-route body-size cap
+// (the bulk ingest route carries whole worlds and gets its own limit),
+// request timeout, error mapping and the structured access log.
 func (s *Server) handleLimit(pattern, name string, bodyLimit int64, h handlerFunc) {
 	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()

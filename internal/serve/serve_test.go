@@ -67,7 +67,20 @@ func doJSON(t *testing.T, method, url string, body, out any) int {
 	}
 	defer resp.Body.Close()
 	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("%s %s: reading body: %v", method, url, err)
+		}
+		// API responses wrap payloads as {"data": ...}; unwrap before
+		// decoding. Non-enveloped surfaces (/debug/vars) and error bodies
+		// decode as-is.
+		var env struct {
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal(raw, &env); err == nil && env.Data != nil {
+			raw = env.Data
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
 			t.Fatalf("%s %s: decoding body: %v", method, url, err)
 		}
 	}
@@ -146,13 +159,16 @@ func TestRegionGetRoundtrip(t *testing.T) {
 	}
 
 	var errOut struct {
-		Error string `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
 	if code := doJSON(t, "GET", ts.URL+"/api/regions/atlantis", nil, &errOut); code != http.StatusNotFound {
 		t.Fatalf("unknown region: status = %d", code)
 	}
-	if errOut.Error == "" {
-		t.Error("404 body has no error message")
+	if errOut.Error.Code != "unknown_region" || errOut.Error.Message == "" {
+		t.Errorf("404 envelope = %+v", errOut.Error)
 	}
 }
 

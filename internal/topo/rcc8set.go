@@ -1,0 +1,285 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RCC8Set is a set of RCC-8 base relations (a general, possibly disjunctive
+// topological relation) as an 8-bit mask — bit r set means base relation
+// RCC8(r) is possible. It is the topological counterpart of
+// core.RelationSet, and the substrate of the joint directional+topological
+// consistency check (Li & Cohn's combined theory): path consistency over
+// RCC8Set networks prunes the topological side while the cardinal-direction
+// closure prunes the directional side, with the coupling rules in
+// internal/reason translating between them.
+type RCC8Set uint8
+
+// RCC8All is the universal topological relation.
+const RCC8All RCC8Set = 1<<8 - 1
+
+// RCC8Of builds a set from base relations.
+func RCC8Of(rs ...RCC8) RCC8Set {
+	var s RCC8Set
+	for _, r := range rs {
+		s |= 1 << r
+	}
+	return s
+}
+
+// Has reports whether r is in the set.
+func (s RCC8Set) Has(r RCC8) bool { return s&(1<<r) != 0 }
+
+// IsEmpty reports whether the set has no base relations.
+func (s RCC8Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of base relations in the set.
+func (s RCC8Set) Len() int {
+	n := 0
+	for m := s; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Rels returns the members in declaration order.
+func (s RCC8Set) Rels() []RCC8 {
+	out := make([]RCC8, 0, s.Len())
+	for r := DC; r <= NTPPi; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Converse returns the set of converses.
+func (s RCC8Set) Converse() RCC8Set {
+	var out RCC8Set
+	for _, r := range s.Rels() {
+		out |= 1 << r.Converse()
+	}
+	return out
+}
+
+// String renders the set as a | -separated list of mnemonics.
+func (s RCC8Set) String() string {
+	if s == 0 {
+		return "⊥"
+	}
+	if s == RCC8All {
+		return "⊤"
+	}
+	parts := make([]string, 0, s.Len())
+	for _, r := range s.Rels() {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, "|")
+}
+
+// ParseRCC8Set parses a | (or comma) separated list of RCC-8 mnemonics,
+// case-insensitively; "*" or "⊤" denote the universal relation.
+func ParseRCC8Set(str string) (RCC8Set, error) {
+	str = strings.TrimSpace(str)
+	if str == "*" || str == "⊤" {
+		return RCC8All, nil
+	}
+	var s RCC8Set
+	for _, part := range strings.FieldsFunc(str, func(r rune) bool { return r == '|' || r == ',' }) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		found := false
+		for r := DC; r <= NTPPi; r++ {
+			if strings.EqualFold(part, r.String()) {
+				s |= 1 << r
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("topo: unknown RCC8 relation %q", part)
+		}
+	}
+	if s == 0 {
+		return 0, fmt.Errorf("topo: empty RCC8 relation set %q", str)
+	}
+	return s, nil
+}
+
+// rcc8CompTable[r1][r2] is the composition r1 ∘ r2: the possible relations
+// between a and c given a r1 b and b r2 c. This is the classic RCC-8
+// composition table (Randell, Cui & Cohn); the tests check the converse law
+// ((R∘S)˘ = S˘∘R˘), EQ as identity, and soundness against topo.Classify on
+// concrete region triples.
+var rcc8CompTable = [8][8]RCC8Set{
+	DC: {
+		DC:    RCC8All,
+		EC:    RCC8Of(DC, EC, PO, TPP, NTPP),
+		PO:    RCC8Of(DC, EC, PO, TPP, NTPP),
+		EQ:    RCC8Of(DC),
+		TPP:   RCC8Of(DC, EC, PO, TPP, NTPP),
+		NTPP:  RCC8Of(DC, EC, PO, TPP, NTPP),
+		TPPi:  RCC8Of(DC),
+		NTPPi: RCC8Of(DC),
+	},
+	EC: {
+		DC:    RCC8Of(DC, EC, PO, TPPi, NTPPi),
+		EC:    RCC8Of(DC, EC, PO, TPP, TPPi, EQ),
+		PO:    RCC8Of(DC, EC, PO, TPP, NTPP),
+		EQ:    RCC8Of(EC),
+		TPP:   RCC8Of(EC, PO, TPP, NTPP),
+		NTPP:  RCC8Of(PO, TPP, NTPP),
+		TPPi:  RCC8Of(DC, EC),
+		NTPPi: RCC8Of(DC),
+	},
+	PO: {
+		DC:    RCC8Of(DC, EC, PO, TPPi, NTPPi),
+		EC:    RCC8Of(DC, EC, PO, TPPi, NTPPi),
+		PO:    RCC8All,
+		EQ:    RCC8Of(PO),
+		TPP:   RCC8Of(PO, TPP, NTPP),
+		NTPP:  RCC8Of(PO, TPP, NTPP),
+		TPPi:  RCC8Of(DC, EC, PO, TPPi, NTPPi),
+		NTPPi: RCC8Of(DC, EC, PO, TPPi, NTPPi),
+	},
+	EQ: {
+		DC:    RCC8Of(DC),
+		EC:    RCC8Of(EC),
+		PO:    RCC8Of(PO),
+		EQ:    RCC8Of(EQ),
+		TPP:   RCC8Of(TPP),
+		NTPP:  RCC8Of(NTPP),
+		TPPi:  RCC8Of(TPPi),
+		NTPPi: RCC8Of(NTPPi),
+	},
+	TPP: {
+		DC:    RCC8Of(DC),
+		EC:    RCC8Of(DC, EC),
+		PO:    RCC8Of(DC, EC, PO, TPP, NTPP),
+		EQ:    RCC8Of(TPP),
+		TPP:   RCC8Of(TPP, NTPP),
+		NTPP:  RCC8Of(NTPP),
+		TPPi:  RCC8Of(DC, EC, PO, TPP, TPPi, EQ),
+		NTPPi: RCC8Of(DC, EC, PO, TPPi, NTPPi),
+	},
+	NTPP: {
+		DC:    RCC8Of(DC),
+		EC:    RCC8Of(DC),
+		PO:    RCC8Of(DC, EC, PO, TPP, NTPP),
+		EQ:    RCC8Of(NTPP),
+		TPP:   RCC8Of(NTPP),
+		NTPP:  RCC8Of(NTPP),
+		TPPi:  RCC8Of(DC, EC, PO, TPP, NTPP),
+		NTPPi: RCC8All,
+	},
+	TPPi: {
+		DC:    RCC8Of(DC, EC, PO, TPPi, NTPPi),
+		EC:    RCC8Of(EC, PO, TPPi, NTPPi),
+		PO:    RCC8Of(PO, TPPi, NTPPi),
+		EQ:    RCC8Of(TPPi),
+		TPP:   RCC8Of(PO, TPP, TPPi, EQ),
+		NTPP:  RCC8Of(PO, TPP, NTPP),
+		TPPi:  RCC8Of(TPPi, NTPPi),
+		NTPPi: RCC8Of(NTPPi),
+	},
+	NTPPi: {
+		DC:    RCC8Of(DC, EC, PO, TPPi, NTPPi),
+		EC:    RCC8Of(PO, TPPi, NTPPi),
+		PO:    RCC8Of(PO, TPPi, NTPPi),
+		EQ:    RCC8Of(NTPPi),
+		TPP:   RCC8Of(PO, TPPi, NTPPi),
+		NTPP:  RCC8Of(PO, TPP, NTPP, TPPi, NTPPi, EQ),
+		TPPi:  RCC8Of(NTPPi),
+		NTPPi: RCC8Of(NTPPi),
+	},
+}
+
+// ComposeRCC8 returns r1 ∘ r2 for base relations.
+func ComposeRCC8(r1, r2 RCC8) RCC8Set { return rcc8CompTable[r1][r2] }
+
+// ComposeRCC8Sets returns the composition of two general relations: the
+// union of base-pair compositions.
+func ComposeRCC8Sets(s1, s2 RCC8Set) RCC8Set {
+	var out RCC8Set
+	for _, r1 := range s1.Rels() {
+		for _, r2 := range s2.Rels() {
+			out |= rcc8CompTable[r1][r2]
+		}
+	}
+	return out
+}
+
+// RCC8Net is a topological constraint network: rel[i][j] is the RCC8Set
+// allowed between regions i and j. The diagonal holds EQ; the matrix is
+// kept converse-consistent by Set.
+type RCC8Net struct {
+	n   int
+	rel []RCC8Set // n×n, row-major
+}
+
+// NewRCC8Net returns the unconstrained network over n regions.
+func NewRCC8Net(n int) *RCC8Net {
+	a := &RCC8Net{n: n, rel: make([]RCC8Set, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				a.rel[i*n+j] = RCC8Of(EQ)
+			} else {
+				a.rel[i*n+j] = RCC8All
+			}
+		}
+	}
+	return a
+}
+
+// Len returns the number of regions.
+func (a *RCC8Net) Len() int { return a.n }
+
+// Get returns the current relation set between i and j.
+func (a *RCC8Net) Get(i, j int) RCC8Set { return a.rel[i*a.n+j] }
+
+// Set restricts the relation between i and j to s (and the converse edge to
+// the converse set).
+func (a *RCC8Net) Set(i, j int, s RCC8Set) {
+	a.rel[i*a.n+j] &= s
+	a.rel[j*a.n+i] &= s.Converse()
+}
+
+// Propagate runs path consistency to a fixpoint; it returns false when some
+// edge becomes empty — the network is then certainly inconsistent. Like the
+// directional Refine it is a sound filter, not a complete decision
+// procedure for arbitrary RCC8Set networks.
+func (a *RCC8Net) Propagate() bool {
+	n := a.n
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				rij := a.rel[i*n+j]
+				for k := 0; k < n; k++ {
+					if k == i || k == j {
+						continue
+					}
+					comp := ComposeRCC8Sets(a.rel[i*n+k], a.rel[k*n+j])
+					nij := rij & comp
+					if nij != rij {
+						rij = nij
+						changed = true
+					}
+					if rij == 0 {
+						return false
+					}
+				}
+				a.rel[i*n+j] = rij
+				a.rel[j*n+i] = rij.Converse()
+			}
+		}
+	}
+	return true
+}
