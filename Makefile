@@ -20,16 +20,22 @@ build:
 test:
 	$(GO) test ./...
 
+# -shuffle=on randomises test order within each package so order-dependent
+# tests (shared fixtures, leaked globals) fail in CI instead of in the field.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # End-to-end smoke of the cardirectd binary: serve the Greece fixture on
 # an ephemeral port, hit the API over the wire, SIGTERM to a clean exit —
 # then the durable shape: SIGKILL a daemon mid-edit-stream and assert the
 # restart recovers a prefix of the acknowledged edits with relations
-# identical to a from-scratch computation.
+# identical to a from-scratch computation. The replication shape rides
+# along: SIGKILL a tailing replica mid-stream, restart it on the same
+# cache, assert it resumes from its last applied sequence and converges
+# to the primary's generation — plus a 3-process primary/replica/router
+# round-trip.
 smoke:
-	$(GO) test -count=1 -run 'TestCardirectdSmoke|TestCardirectdCrashRecovery' ./cmd/cardirectd
+	$(GO) test -count=1 -run 'TestCardirectdSmoke|TestCardirectdCrashRecovery|TestCardirectdReplicaResume|TestCardirectdRouter' ./cmd/cardirectd
 
 # Static analysis beyond vet. staticcheck is optional tooling: run it when
 # the binary is on PATH, skip with a note when it is not (CI images and the
@@ -51,6 +57,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzPlannerDifferential -fuzztime=10s ./internal/query
 	$(GO) test -run='^$$' -fuzz=FuzzLoDDifferential -fuzztime=10s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzSolverDifferential -fuzztime=10s ./internal/reason
+	$(GO) test -run='^$$' -fuzz=FuzzReplicationStream -fuzztime=10s ./internal/replica
 
 # The paper-shaped benchmark tables (see EXPERIMENTS.md).
 bench:
@@ -62,8 +69,8 @@ bench-short:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ ./...
 
 # Regression gate over the raw-speed suite (E21), the query-planner
-# suite (E22), the huge-world tier (E23) and the reasoning pipeline
-# (E24): re-measure and compare
+# suite (E22), the huge-world tier (E23), the reasoning pipeline
+# (E24) and the replication tier (E25): re-measure and compare
 # against the committed baselines;
 # timing metrics may not grow — and speedups may not shrink — by more
 # than TREND_THRESHOLD (fraction). CI runs the quick flavour against
@@ -82,16 +89,19 @@ bench-trend:
 	$(GO) run ./cmd/cdrbench -quick -only E22 -compare baselines/BENCH_E22_quick.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -quick -only E23 -compare baselines/BENCH_E23_quick.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -quick -only E24 -compare baselines/BENCH_E24_quick.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -quick -only E25 -compare baselines/BENCH_E25_quick.json -threshold $(TREND_THRESHOLD)
 
 # Full-size trend checks (minutes, not seconds). The full E23 run also
 # asserts the huge-world acceptance floor (>=10x on 10^5 regions) inside
-# the experiment itself, and the full E24 run asserts the parallel-solver
-# floor (>=2x on the adversarial networks) the same way.
+# the experiment itself, the full E24 run asserts the parallel-solver
+# floor (>=2x on the adversarial networks) the same way, and the full
+# E25 run asserts the WAL-catch-up-beats-rebuild floor (>=1.2x).
 bench-trend-full:
 	$(GO) run ./cmd/cdrbench -only E21 -compare baselines/BENCH_E21.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -only E22 -compare baselines/BENCH_E22.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -only E23 -compare baselines/BENCH_E23.json -threshold $(TREND_THRESHOLD)
 	$(GO) run ./cmd/cdrbench -only E24 -compare baselines/BENCH_E24.json -threshold $(TREND_THRESHOLD)
+	$(GO) run ./cmd/cdrbench -only E25 -compare baselines/BENCH_E25.json -threshold $(TREND_THRESHOLD)
 
 # Re-record the committed baselines (run on a quiet machine, then commit
 # baselines/*.json). -json writes straight into baselines/, with a _quick
@@ -105,6 +115,8 @@ bench-baseline:
 	$(GO) run ./cmd/cdrbench -only E23 -json
 	$(GO) run ./cmd/cdrbench -quick -only E24 -json
 	$(GO) run ./cmd/cdrbench -only E24 -json
+	$(GO) run ./cmd/cdrbench -quick -only E25 -json
+	$(GO) run ./cmd/cdrbench -only E25 -json
 
 experiments:
 	$(GO) run ./cmd/cdrbench -quick

@@ -20,6 +20,21 @@
 // seed a directory that holds no snapshot yet), and /api/admin/snapshot
 // rotates the generation. See the Durability section of README.md.
 //
+// The process is role-aware (-role):
+//
+//	cardirectd -role primary -greece               accept writes, ship the WAL
+//	cardirectd -role replica -follow http://p:8080 \
+//	           -replica-data /var/lib/replica      tail the primary, serve reads
+//	cardirectd -role router -primary http://p:8080 \
+//	           -replicas http://r1:8081,http://r2:8082   fan reads out, route writes
+//
+// A primary serves GET /v1/replication/{snapshot,wal,status}; replicas
+// bootstrap from the snapshot, apply shipped records through the store's
+// delta path, reject writes with 421 not_primary, and honor the
+// Cardirect-Min-Generation freshness contract. The router forwards writes
+// (and replication/admin/debug traffic) to the primary and round-robins
+// reads across healthy replicas. See the Scale-out section of README.md.
+//
 // The process runs until SIGINT/SIGTERM, then shuts down gracefully:
 // in-flight requests get -shutdown-timeout to finish, new connections are
 // refused, a final snapshot is written when -snapshot-on-exit is set, and
@@ -36,12 +51,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cardirect/internal/config"
 	"cardirect/internal/core"
 	"cardirect/internal/persist"
+	"cardirect/internal/replica"
 	"cardirect/internal/serve"
 	"cardirect/internal/wal"
 )
@@ -57,9 +74,10 @@ func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("cardirectd", flag.ContinueOnError)
 	var (
 		addr            = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		role            = fs.String("role", "primary", "process role: primary, replica or router")
 		configPath      = fs.String("config", "", "CARDIRECT XML configuration to serve")
 		greece          = fs.Bool("greece", false, "serve the built-in Fig. 11 Greece configuration")
-		pct             = fs.Bool("pct", true, "maintain percent matrices (required by pct endpoints)")
+		pct             = fs.String("pct", "on", "percent-matrix tracking: on or off (off skips eager pct matrices; pct endpoints answer 422)")
 		workers         = fs.Int("workers", 0, "worker-pool size for batch and delta recomputation (0 = GOMAXPROCS)")
 		requestTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request timeout (0 = none)")
 		maxBody         = fs.Int64("max-body", 1<<20, "request body size limit in bytes")
@@ -72,6 +90,11 @@ func run(args []string, stdout *os.File) error {
 		snapOnExit      = fs.Bool("snapshot-on-exit", true, "with -data, write a final snapshot during graceful shutdown")
 		solveWorkers    = fs.Int("solve-workers", 0, "parallel consistency-solver fan width for /v1/reason/check (0 = reason default)")
 		maxNetwork      = fs.Int("max-network", 64, "max variables a /v1/reason request may declare (oversized networks get 413)")
+		replRetain      = fs.Int("repl-retain", 0, "replication records the primary retains in memory (0 = 65536); lagging followers re-bootstrap")
+		follow          = fs.String("follow", "", "with -role replica: the primary's base URL to tail")
+		replicaData     = fs.String("replica-data", "", "with -role replica: cache directory so a restart resumes from the last applied sequence")
+		primaryURL      = fs.String("primary", "", "with -role router: the primary's base URL (writes go here)")
+		replicaURLs     = fs.String("replicas", "", "with -role router: comma-separated replica base URLs (reads round-robin across healthy ones)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +107,30 @@ func run(args []string, stdout *os.File) error {
 		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
 	logger := slog.New(handler)
+
+	pctOn, err := parseOnOff("pct", *pct)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch *role {
+	case "router":
+		return runRouter(ctx, stdout, logger, *addr, *primaryURL, *replicaURLs, *shutdownTimeout)
+	case "replica":
+		return runReplica(ctx, stdout, logger, replicaParams{
+			addr: *addr, follow: *follow, cacheDir: *replicaData,
+			workers: *workers, maxBody: *maxBody, maxBulk: *maxBulk,
+			requestTimeout: *requestTimeout, shutdownTimeout: *shutdownTimeout,
+			solveWorkers: *solveWorkers, maxNetwork: *maxNetwork,
+		})
+	case "", "primary":
+		// fall through to the primary path below
+	default:
+		return fmt.Errorf("unknown -role %q (want primary, replica or router)", *role)
+	}
 
 	var (
 		tr *config.Tracked
@@ -104,7 +151,7 @@ func run(args []string, stdout *os.File) error {
 		ps, err = persist.Open(*dataDir, seed, persist.Options{
 			Sync:    wal.Options{Policy: policy, Interval: *fsyncInterval},
 			Workers: *workers,
-			Pct:     *pct,
+			Pct:     pctOn,
 			Logger:  logger,
 		})
 		if err != nil {
@@ -125,14 +172,24 @@ func run(args []string, stdout *os.File) error {
 		if err != nil {
 			return err
 		}
-		tr, err = config.Track(img, core.StoreOptions{Workers: *workers, Pct: *pct})
+		tr, err = config.Track(img, core.StoreOptions{Workers: *workers, Pct: pctOn})
 		if err != nil {
 			return fmt.Errorf("building relation store: %w", err)
 		}
 		logger.Info("configuration loaded",
-			"name", img.Name, "regions", tr.Store().Len(), "pct", *pct)
+			"name", img.Name, "regions", tr.Store().Len(), "pct", pctOn)
 	}
 	defer tr.Close()
+
+	// Every primary is a replication source: edits route through the
+	// Primary wrapper (which itself writes through the durable store when
+	// one is open, so WAL-before-ack is preserved) and followers tail them
+	// from /v1/replication/wal.
+	var under replica.Editor = tr
+	if ps != nil {
+		under = ps
+	}
+	prim := replica.NewPrimary(tr, under, replica.PrimaryOptions{Retain: *replRetain, Pct: pctOn})
 
 	srv := serve.New(tr, serve.Options{
 		MaxBodyBytes:   *maxBody,
@@ -143,13 +200,127 @@ func run(args []string, stdout *os.File) error {
 		Persist:        ps,
 		SolveWorkers:   *solveWorkers,
 		MaxNetwork:     *maxNetwork,
+		Repl:           prim,
+		Editor:         prim,
+		PctDisabled:    !pctOn,
 	})
+
+	if err := serveHTTP(ctx, stdout, logger, *addr, srv.Handler(), *shutdownTimeout); err != nil {
+		return err
+	}
+	// The listener is drained: no more edits can arrive, so the final
+	// snapshot captures everything that was acknowledged.
+	if ps != nil && *snapOnExit {
+		if info, err := ps.Snapshot(); err != nil {
+			logger.Warn("final snapshot failed; the WAL still holds every edit", "err", err)
+		} else {
+			logger.Info("final snapshot written", "seq", info.Seq, "bytes", info.Bytes)
+		}
+	}
+	logger.Info("bye")
+	return nil
+}
+
+// replicaParams carries the replica-role flag subset.
+type replicaParams struct {
+	addr, follow, cacheDir   string
+	workers                  int
+	maxBody, maxBulk         int64
+	requestTimeout           time.Duration
+	shutdownTimeout          time.Duration
+	solveWorkers, maxNetwork int
+}
+
+// runReplica bootstraps from the primary (or the local cache), starts the
+// tail loop, and serves the read surface; writes answer 421 not_primary.
+func runReplica(ctx context.Context, stdout *os.File, logger *slog.Logger, p replicaParams) error {
+	if p.follow == "" {
+		return fmt.Errorf("-role replica requires -follow <primary-url>")
+	}
+	rep, err := replica.Open(ctx, replica.Options{
+		Primary:  p.follow,
+		CacheDir: p.cacheDir,
+		Workers:  p.workers,
+		Logger:   logger,
+	})
+	if err != nil {
+		return fmt.Errorf("bootstrapping replica: %w", err)
+	}
+	defer rep.Close()
+	st := rep.Status()
+	logger.Info("replica bootstrapped",
+		"primary", p.follow, "epoch", st.Epoch, "seq", st.LastAppliedSeq,
+		"generation", st.Generation, "from_cache", st.ResumedFromCache)
+
+	tailDone := make(chan struct{})
+	go func() {
+		defer close(tailDone)
+		if err := rep.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			logger.Error("replication tail stopped", "err", err)
+		}
+	}()
+
+	srv := serve.New(rep.Tracked(), serve.Options{
+		MaxBodyBytes:   p.maxBody,
+		MaxBulkBytes:   p.maxBulk,
+		RequestTimeout: p.requestTimeout,
+		Workers:        p.workers,
+		Logger:         logger,
+		SolveWorkers:   p.solveWorkers,
+		MaxNetwork:     p.maxNetwork,
+		Role:           "replica",
+		PrimaryURL:     p.follow,
+		Follower:       rep,
+	})
+	err = serveHTTP(ctx, stdout, logger, p.addr, srv.Handler(), p.shutdownTimeout)
+	<-tailDone
+	if err != nil {
+		return err
+	}
+	logger.Info("bye")
+	return nil
+}
+
+// runRouter serves the role-aware reverse proxy: writes (and replication,
+// admin, debug traffic) to the primary, reads round-robined across healthy
+// replicas.
+func runRouter(ctx context.Context, stdout *os.File, logger *slog.Logger, addr, primary, replicas string, shutdownTimeout time.Duration) error {
+	if primary == "" {
+		return fmt.Errorf("-role router requires -primary <url>")
+	}
+	var urls []string
+	for _, u := range strings.Split(replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	rtr, err := replica.NewRouter(replica.RouterOptions{
+		Primary:  primary,
+		Replicas: urls,
+		Logger:   logger,
+	})
+	if err != nil {
+		return err
+	}
+	go rtr.Run(ctx)
+	logger.Info("routing", "primary", primary, "replicas", len(urls))
+	if err := serveHTTP(ctx, stdout, logger, addr, rtr.Handler(), shutdownTimeout); err != nil {
+		return err
+	}
+	logger.Info("bye")
+	return nil
+}
+
+// serveHTTP binds addr, announces the resolved address on stdout, serves
+// handler until ctx is cancelled (SIGINT/SIGTERM), then drains gracefully
+// within shutdownTimeout. It returns only after the listener goroutine has
+// fully exited.
+func serveHTTP(ctx context.Context, stdout *os.File, logger *slog.Logger, addr string, handler http.Handler, shutdownTimeout time.Duration) error {
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -157,9 +328,6 @@ func run(args []string, stdout *os.File) error {
 	// smoke test, scripts) can discover the port.
 	fmt.Fprintf(stdout, "cardirectd: listening on %s\n", ln.Addr())
 	logger.Info("listening", "addr", ln.Addr().String())
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -175,27 +343,25 @@ func run(args []string, stdout *os.File) error {
 		return err
 	case <-ctx.Done():
 	}
-	stop()
 	logger.Info("shutting down", "drain", shutdownTimeout.String())
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	if err := <-errCh; err != nil {
-		return err
+	return <-errCh
+}
+
+// parseOnOff parses an on/off flag value (true/false accepted for
+// compatibility with the flag's earlier boolean form).
+func parseOnOff(name, v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "on", "true", "1", "yes":
+		return true, nil
+	case "off", "false", "0", "no":
+		return false, nil
 	}
-	// The listener is drained: no more edits can arrive, so the final
-	// snapshot captures everything that was acknowledged.
-	if ps != nil && *snapOnExit {
-		if info, err := ps.Snapshot(); err != nil {
-			logger.Warn("final snapshot failed; the WAL still holds every edit", "err", err)
-		} else {
-			logger.Info("final snapshot written", "seq", info.Seq, "bytes", info.Bytes)
-		}
-	}
-	logger.Info("bye")
-	return nil
+	return false, fmt.Errorf("bad -%s value %q (want on or off)", name, v)
 }
 
 // loadConfigOptional is loadConfig for durable startup: no flags means no

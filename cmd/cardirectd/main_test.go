@@ -327,9 +327,249 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-config", filepath.Join(t.TempDir(), "missing.xml")},
 		{"-data", t.TempDir()},                                   // empty data dir needs a seed
 		{"-greece", "-data", t.TempDir(), "-fsync", "sometimes"}, // bad policy
+		{"-greece", "-pct", "maybe"},                             // bad on/off value
+		{"-greece", "-role", "observer"},                         // unknown role
+		{"-role", "replica"},                                     // replica needs -follow
+		{"-role", "router"},                                      // router needs -primary
 	} {
 		if err := run(args, os.Stdout); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
+	}
+}
+
+// getRaw fetches path without retries and returns status and body.
+func getRaw(t *testing.T, base, path string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestCardirectdPctDisabled runs the daemon with -pct off: percent routes
+// answer 422 pct_disabled while qualitative routes keep working.
+func TestCardirectdPctDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary test in -short mode")
+	}
+	bin := buildBinary(t)
+	_, base := startDaemon(t, bin, "-greece", "-pct", "off")
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, base, "/healthz", &health)
+
+	for _, path := range []string{
+		"/v1/relation?primary=attica&reference=peloponnesos&pct=1",
+		"/v1/relations?pct=1",
+	} {
+		status, _, body := getRaw(t, base, path)
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("GET %s with -pct off: status %d, want 422: %s", path, status, body)
+		}
+		var env struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "pct_disabled" {
+			t.Fatalf("GET %s: error code %q (err %v), want pct_disabled", path, env.Error.Code, err)
+		}
+	}
+	var rel struct {
+		Relation string `json:"relation"`
+	}
+	getJSON(t, base, "/v1/relation?primary=attica&reference=peloponnesos", &rel)
+	if rel.Relation == "" {
+		t.Fatal("qualitative relation broken with -pct off")
+	}
+}
+
+// replStatus mirrors the /v1/replication/status payload the tests consume.
+type replStatus struct {
+	Role       string `json:"role"`
+	Generation uint64 `json:"generation"`
+	HeadSeq    uint64 `json:"head_seq"`
+	Replica    *struct {
+		LastAppliedSeq   uint64 `json:"last_applied_seq"`
+		Generation       uint64 `json:"generation"`
+		BootSeq          uint64 `json:"boot_seq"`
+		ResumedFromCache bool   `json:"resumed_from_cache"`
+	} `json:"replica"`
+}
+
+// addRegion posts one square region to a primary and fails on non-201.
+func addRegion(t *testing.T, base, id string, x, y float64) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"id":  id,
+		"wkt": fmt.Sprintf("POLYGON ((%g %g, %g %g, %g %g, %g %g, %g %g))", x, y, x+15, y, x+15, y+15, x, y+15, x, y),
+	})
+	resp, err := http.Post(base+"/v1/regions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/regions %s: status %d", id, resp.StatusCode)
+	}
+}
+
+// TestCardirectdReplicaResume is the kill-and-resume replication scenario
+// (make smoke): a tailing replica is SIGKILLed mid-stream, restarted over
+// the same -replica-data directory, and must resume from its last applied
+// sequence (not a fresh snapshot) and converge to the primary's generation
+// with byte-identical reads.
+func TestCardirectdReplicaResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary replication test in -short mode")
+	}
+	bin := buildBinary(t)
+	_, primBase := startDaemon(t, bin, "-greece")
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, primBase, "/healthz", &health)
+
+	cacheDir := t.TempDir()
+	repCmd, repBase := startDaemon(t, bin, "-role", "replica", "-follow", primBase, "-replica-data", cacheDir)
+
+	const firstBatch = 20
+	for i := 0; i < firstBatch; i++ {
+		addRegion(t, primBase, fmt.Sprintf("live%03d", i), 300+float64(i%5)*25, 300+float64(i/5)*25)
+	}
+
+	waitApplied := func(base string, minSeq uint64) replStatus {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			var st replStatus
+			getJSON(t, base, "/v1/replication/status", &st)
+			if st.Replica != nil && st.Replica.LastAppliedSeq >= minSeq {
+				return st
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		t.Fatalf("replica never reached seq %d", minSeq)
+		return replStatus{}
+	}
+	waitApplied(repBase, firstBatch)
+
+	// Writes to the replica bounce with the primary's address.
+	resp, err := http.Post(repBase+"/v1/regions", "application/json",
+		strings.NewReader(`{"id":"nope","wkt":"POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounced, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("replica write: status %d, want 421: %s", resp.StatusCode, bounced)
+	}
+	if !strings.Contains(string(bounced), "not_primary") || !strings.Contains(string(bounced), primBase) {
+		t.Fatalf("replica write rejection lacks not_primary/primary URL: %s", bounced)
+	}
+
+	// Pull the plug on the replica mid-life; the primary keeps moving.
+	repCmd.Process.Signal(syscall.SIGKILL)
+	repCmd.Wait()
+	for i := 0; i < 10; i++ {
+		addRegion(t, primBase, fmt.Sprintf("down%03d", i), 600+float64(i)*20, 600)
+	}
+
+	// Restart over the same cache: it must resume, not re-snapshot.
+	_, repBase2 := startDaemon(t, bin, "-role", "replica", "-follow", primBase, "-replica-data", cacheDir)
+	st := waitApplied(repBase2, firstBatch+10)
+	if st.Replica.BootSeq < firstBatch {
+		t.Fatalf("boot seq %d: replica re-bootstrapped instead of resuming past %d", st.Replica.BootSeq, firstBatch)
+	}
+	if !st.Replica.ResumedFromCache {
+		t.Fatal("restarted replica did not resume from its cache")
+	}
+
+	// Converged: generations equal, relations bodies and ETags identical.
+	var primSt replStatus
+	getJSON(t, primBase, "/v1/replication/status", &primSt)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		getJSON(t, repBase2, "/v1/replication/status", &st)
+		if st.Replica.Generation == primSt.Generation && st.Replica.LastAppliedSeq == primSt.HeadSeq {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica at gen %d seq %d, primary at gen %d head %d",
+				st.Replica.Generation, st.Replica.LastAppliedSeq, primSt.Generation, primSt.HeadSeq)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	pStatus, pHdr, pBody := getRaw(t, primBase, "/v1/relations")
+	rStatus, rHdr, rBody := getRaw(t, repBase2, "/v1/relations")
+	if pStatus != http.StatusOK || rStatus != http.StatusOK {
+		t.Fatalf("relations: primary %d, replica %d", pStatus, rStatus)
+	}
+	if !bytes.Equal(pBody, rBody) {
+		t.Fatal("resumed replica serves different /v1/relations body than the primary")
+	}
+	if pe, re := pHdr.Get("ETag"), rHdr.Get("ETag"); pe == "" || pe != re {
+		t.Fatalf("ETags diverged: primary %q, replica %q", pe, re)
+	}
+}
+
+// TestCardirectdRouter stands up all three roles and checks the router
+// splits traffic: writes land on the primary, reads come from the replica.
+func TestCardirectdRouter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary router test in -short mode")
+	}
+	bin := buildBinary(t)
+	_, primBase := startDaemon(t, bin, "-greece")
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, primBase, "/healthz", &health)
+	_, repBase := startDaemon(t, bin, "-role", "replica", "-follow", primBase, "-replica-data", t.TempDir())
+	_, routerBase := startDaemon(t, bin, "-role", "router", "-primary", primBase, "-replicas", repBase)
+
+	var rtSt struct {
+		Healthy int `json:"healthy_replicas"`
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for rtSt.Healthy == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("router never saw a healthy replica")
+		}
+		getJSON(t, routerBase, "/v1/router/status", &rtSt)
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	addRegion(t, routerBase, "routed", 500, 500)
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		status, hdr, _ := getRaw(t, routerBase, "/v1/relations")
+		if status == http.StatusOK && hdr.Get("Cardirect-Staleness") == "" {
+			t.Fatal("router read skipped the replica (no staleness header)")
+		}
+		var env struct {
+			Data struct {
+				Relation string `json:"relation"`
+			} `json:"data"`
+		}
+		if status, _, body := getRaw(t, routerBase, "/v1/relation?primary=routed&reference=attica"); status == http.StatusOK {
+			if err := json.Unmarshal(body, &env); err == nil && env.Data.Relation != "" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write via router never became readable via the replica")
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }

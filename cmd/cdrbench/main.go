@@ -19,6 +19,7 @@
 //	E22    cost-based query planner vs written order; plan cache warm vs cold
 //	E23    huge-world tier: LoD stack vs exact-only; streamed bulk ingest
 //	E24    reasoning pipeline: parallel solver, fragment fast path, joint RCC-8
+//	E25    replication: WAL catch-up vs rebuild, router fan-out, bounded staleness
 //
 // Usage:
 //

@@ -99,6 +99,10 @@ func TrackSeeded(img *Image, opt core.StoreOptions) (*Tracked, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	// The seed has been consumed into the store; drop the O(n²) relation
+	// list from the live image, or every subsequent edit pays a full scan
+	// of it (Image edit methods filter the touched region's entries).
+	img.Relations = img.Relations[:0]
 	tr := &Tracked{img: img, store: store, idx: idx}
 	img.Watch(tr)
 	return tr, true, nil
@@ -344,10 +348,33 @@ func (tr *Tracked) RegionGeometryChanged(id string, g geom.Region) {
 
 // Materialize writes the store's cached relations into the image's Relation
 // list — the store-backed replacement for ComputeRelations after an edit
-// sequence, costing a copy instead of an O(n²) recompute.
+// sequence, costing a copy instead of an O(n²) recompute. The list stays in
+// the live image and every subsequent edit pays a full scan of it; encoders
+// should prefer WithMaterialized, which strips it again.
 func (tr *Tracked) Materialize(withPct bool) error {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
+	return tr.materializeLocked(withPct)
+}
+
+// WithMaterialized runs f over the image with the store's cached relations
+// materialised into it, then strips the relation list again before
+// returning. The list is O(n²) and the Image edit methods filter it on
+// every mutation, so a live image must not keep it between encodes — a
+// snapshot taken on a 900-region world would otherwise slow every later
+// edit by two orders of magnitude.
+func (tr *Tracked) WithMaterialized(withPct bool, f func(*Image) error) error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if err := tr.materializeLocked(withPct); err != nil {
+		return err
+	}
+	err := f(tr.img)
+	tr.img.Relations = tr.img.Relations[:0]
+	return err
+}
+
+func (tr *Tracked) materializeLocked(withPct bool) error {
 	if tr.err != nil {
 		return tr.err
 	}

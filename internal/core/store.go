@@ -77,6 +77,13 @@ type RelationStore struct {
 // is what makes it usable as a cache validator (ETag, plan cache).
 func (s *RelationStore) Generation() uint64 { return s.gen.Load() }
 
+// SetGeneration overwrites the edit counter. Replication uses it to align a
+// replica's generation with the primary's: a replica seeds its store from a
+// snapshot (generation 0 locally, G on the primary) and adopts G so ETags
+// agree byte-for-byte at the same logical state. Outside replication the
+// counter should only ever move via edits.
+func (s *RelationStore) SetGeneration(v uint64) { s.gen.Store(v) }
+
 // NewRelationStore builds a store over the given regions, computing the full
 // all-pairs network once through the batch engines (MBB pruning, worker
 // pool). Region names must be unique and non-empty; every region must be

@@ -918,6 +918,7 @@ func Entries(o Options) []Entry {
 		{"E22", func() (Report, error) { return E22QueryPlanner(o) }},
 		{"E23", func() (Report, error) { return E23HugeWorld(o) }},
 		{"E24", func() (Report, error) { return E24Reasoning(o) }},
+		{"E25", func() (Report, error) { return E25Replication(o) }},
 	}
 }
 

@@ -305,10 +305,42 @@ func TestE24Reasoning(t *testing.T) {
 	}
 }
 
+// TestE25Replication runs the replication experiment in quick mode: byte
+// agreement with the primary, the staleness reject path and the router
+// fan-out are asserted inside the experiment; here the metric surface and a
+// noise-robust quick floor on the catch-up speedup are checked (full mode
+// asserts >= 1.2x inside the experiment).
+func TestE25Replication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based")
+	}
+	r, err := E25Replication(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"WAL tail + delta apply", "snapshot re-bootstrap", "router fan-out", "bounded staleness"} {
+		if !strings.Contains(r.Body, frag) {
+			t.Errorf("E25 body missing %q:\n%s", frag, r.Body)
+		}
+	}
+	for _, key := range []string{"catchup_ms", "rebuild_ms", "catchup_speedup",
+		"router_reads", "router_fanout_min_share", "router_reads_per_sec"} {
+		if _, ok := r.Metrics[key]; !ok {
+			t.Errorf("E25 metrics missing %q: %v", key, r.Metrics)
+		}
+	}
+	if got := r.Metrics["catchup_speedup"]; got < 1 {
+		t.Errorf("WAL catch-up at %.2fx vs rebuild, want >= 1x (quick floor; full mode asserts 1.2x)", got)
+	}
+	if got := r.Metrics["router_fanout_min_share"]; got <= 0 {
+		t.Errorf("router fan-out min share %.2f, want > 0", got)
+	}
+}
+
 func TestEntriesAndIDs(t *testing.T) {
 	entries := Entries(quickOpts)
-	if len(entries) != 20 {
-		t.Fatalf("entries = %d, want 20 (E1-E3 … E24)", len(entries))
+	if len(entries) != 21 {
+		t.Fatalf("entries = %d, want 21 (E1-E3 … E25)", len(entries))
 	}
 	seen := map[string]bool{}
 	for _, e := range entries {

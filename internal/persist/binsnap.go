@@ -244,6 +244,20 @@ func decodeBinarySnapshot(data []byte) (*config.Image, error) {
 	return img, nil
 }
 
+// EncodeSnapshot serialises the document into the framed binary snapshot
+// format (magic, version, length, CRC-32C). Replication streams these bytes
+// to bootstrapping replicas; DecodeSnapshot is the inverse.
+func EncodeSnapshot(img *config.Image) []byte {
+	return encodeBinarySnapshot(img)
+}
+
+// DecodeSnapshot verifies and decodes a binary snapshot image as produced
+// by EncodeSnapshot. Like the recovery path it does not validate the
+// document; callers run config.Image.Validate.
+func DecodeSnapshot(data []byte) (*config.Image, error) {
+	return decodeBinarySnapshot(data)
+}
+
 // loadBinarySnapshot reads, decodes and validates one binary snapshot file.
 func loadBinarySnapshot(path string) (*config.Image, error) {
 	data, err := os.ReadFile(path)

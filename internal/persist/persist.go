@@ -497,11 +497,8 @@ func (s *Store) writeSnapshotFile(seq uint64) error {
 	if s.tr.Store().Len() == 0 {
 		return ErrEmptyWorld
 	}
-	if err := s.tr.Materialize(s.opt.Pct); err != nil {
-		return fmt.Errorf("persist: materialising relations: %w", err)
-	}
 	var data, bin []byte
-	err := s.tr.View(func(img *config.Image) error {
+	err := s.tr.WithMaterialized(s.opt.Pct, func(img *config.Image) error {
 		var err error
 		data, err = img.Bytes()
 		bin = encodeBinarySnapshot(img)

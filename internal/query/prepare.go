@@ -136,6 +136,18 @@ func (c *PlanCache) Len() int {
 	return c.ll.Len()
 }
 
+// Reset drops every cached plan, keeping the counters. Generation
+// validation assumes one store behind the cache; a server that swaps its
+// store wholesale (a replica re-bootstrapping from a new primary epoch)
+// resets so a fresh store's restarted generation sequence cannot collide
+// with stale entries.
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
+}
+
 // Stats returns the cumulative hit/miss/replan counters.
 func (c *PlanCache) Stats() PlanCacheStats {
 	c.mu.Lock()

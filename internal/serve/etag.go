@@ -3,7 +3,10 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+
+	"cardirect/internal/replica"
 )
 
 // The read endpoints over cached store state — /api/relation, /api/select
@@ -13,6 +16,14 @@ import (
 // tag it last saw and, while no edit has landed, gets 304 Not Modified
 // without the server evaluating anything.
 //
+// Replication rides the same counter: replicas adopt the primary's
+// generation as records apply, so at equal generation a replica's ETag —
+// and body — is byte-identical to the primary's. That makes the tag a
+// cross-node freshness token: a reader can demand `Cardirect-Min-Generation:
+// N` and a lagging replica answers 503 replica_lagging instead of silently
+// serving stale state; replicas additionally stamp `Cardirect-Staleness`
+// (known unapplied records) on every validatable read.
+//
 // The tag is always computed BEFORE the data is read. Under a concurrent
 // edit that order can hand out a stale tag with fresher data — which only
 // costs the client one extra revalidation; the reverse order could validate
@@ -20,7 +31,7 @@ import (
 
 // storeETag renders the current store generation as a strong entity tag.
 func (s *Server) storeETag() string {
-	return fmt.Sprintf("\"g%d\"", s.tr.Store().Generation())
+	return fmt.Sprintf("\"g%d\"", s.tracked().Store().Generation())
 }
 
 // etagMatch implements the If-None-Match comparison: a comma-separated
@@ -37,16 +48,36 @@ func etagMatch(header, etag string) bool {
 	return false
 }
 
-// conditional stamps the response with the generation ETag and reports
-// whether the request's If-None-Match already matches it — in which case
-// it has written 304 Not Modified and the handler must not produce a body.
-func (s *Server) conditional(w http.ResponseWriter, r *http.Request) (string, bool) {
-	etag := s.storeETag()
+// conditional enforces the freshness contract and stamps the response with
+// the generation ETag. It reports done=true when it has already written a
+// response (304 Not Modified) — the handler must not produce a body — and
+// an error when the reader demanded a minimum generation this node has not
+// reached (503 replica_lagging).
+func (s *Server) conditional(w http.ResponseWriter, r *http.Request) (done bool, err error) {
+	gen := s.tracked().Store().Generation()
+	if f := s.opt.Follower; f != nil {
+		w.Header().Set(replica.HeaderStaleness, strconv.FormatUint(f.Lag(), 10))
+	}
+	if min := r.Header.Get(replica.HeaderMinGeneration); min != "" {
+		want, perr := strconv.ParseUint(min, 10, 64)
+		if perr != nil {
+			return false, failf(http.StatusBadRequest, "serve: bad %s header %q", replica.HeaderMinGeneration, min)
+		}
+		if gen < want {
+			details := map[string]any{"generation": gen, "min_generation": want}
+			if s.opt.PrimaryURL != "" {
+				details["primary"] = s.opt.PrimaryURL
+			}
+			return false, failCode(http.StatusServiceUnavailable, "replica_lagging", details,
+				"serve: generation %d is behind the requested minimum %d; retry or read the primary", gen, want)
+		}
+	}
+	etag := fmt.Sprintf("\"g%d\"", gen)
 	w.Header().Set("ETag", etag)
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
 		metrics.Add("etag_304s", 1)
 		w.WriteHeader(http.StatusNotModified)
-		return etag, true
+		return true, nil
 	}
-	return etag, false
+	return false, nil
 }

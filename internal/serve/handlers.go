@@ -111,6 +111,13 @@ func pctJSON(m core.PercentMatrix) map[string]float64 {
 	return out
 }
 
+// errPctDisabled is the percent surface's refusal when the store runs
+// without eager percent matrices (-pct=off, or a replica of such a primary).
+func errPctDisabled() error {
+	return failCode(http.StatusUnprocessableEntity, "pct_disabled", nil,
+		"serve: percent tracking is disabled on this node (start the primary with -pct=on)")
+}
+
 // --- endpoint handlers ---
 
 type healthResponse struct {
@@ -119,7 +126,8 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
-	if err := s.tr.Err(); err != nil {
+	tr := s.tracked()
+	if err := tr.Err(); err != nil {
 		return failf(http.StatusInternalServerError, "serve: tracking diverged: %v", err)
 	}
 	if p := s.opt.Persist; p != nil {
@@ -127,7 +135,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 			return failf(http.StatusInternalServerError, "serve: persistence failed: %s", st.Err)
 		}
 	}
-	return writeData(w, http.StatusOK, healthResponse{Status: "ok", Regions: s.tr.Store().Len()})
+	return writeData(w, http.StatusOK, healthResponse{Status: "ok", Regions: tr.Store().Len()})
 }
 
 type regionsResponse struct {
@@ -136,7 +144,7 @@ type regionsResponse struct {
 
 func (s *Server) handleRegionsList(w http.ResponseWriter, r *http.Request) error {
 	var out regionsResponse
-	err := s.tr.View(func(img *config.Image) error {
+	err := s.tracked().View(func(img *config.Image) error {
 		out.Regions = make([]regionInfo, 0, len(img.Regions))
 		for i := range img.Regions {
 			out.Regions = append(out.Regions, toRegionInfo(&img.Regions[i]))
@@ -159,7 +167,7 @@ type regionDetail struct {
 func (s *Server) handleRegionGet(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
 	var out regionDetail
-	err := s.tr.View(func(img *config.Image) error {
+	err := s.tracked().View(func(img *config.Image) error {
 		reg := img.FindRegion(id)
 		if reg == nil {
 			return fmt.Errorf("serve: region %q: %w", id, config.ErrUnknownRegion)
@@ -249,7 +257,7 @@ func (s *Server) handleRegionDelete(w http.ResponseWriter, r *http.Request) erro
 // respondRegion returns the post-edit summary of one region.
 func (s *Server) respondRegion(w http.ResponseWriter, status int, id string) error {
 	var info regionInfo
-	err := s.tr.View(func(img *config.Image) error {
+	err := s.tracked().View(func(img *config.Image) error {
 		reg := img.FindRegion(id)
 		if reg == nil {
 			return fmt.Errorf("serve: region %q: %w", id, config.ErrUnknownRegion)
@@ -276,16 +284,19 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) error {
 	if p == "" || q == "" {
 		return failf(http.StatusBadRequest, "serve: missing primary or reference parameter")
 	}
-	if _, done := s.conditional(w, r); done {
-		return nil
+	if done, err := s.conditional(w, r); done || err != nil {
+		return err
 	}
-	store := s.tr.Store()
+	store := s.tracked().Store()
 	rel, err := store.Relation(p, q)
 	if err != nil {
 		return err
 	}
 	out := relationResponse{Primary: p, Reference: q, Relation: rel.String()}
 	if r.URL.Query().Get("pct") != "" {
+		if s.pctDisabled() {
+			return errPctDisabled()
+		}
 		m, err := store.Percent(p, q)
 		if err != nil {
 			return err
@@ -307,12 +318,15 @@ type relationsResponse struct {
 }
 
 func (s *Server) handleRelations(w http.ResponseWriter, r *http.Request) error {
-	if _, done := s.conditional(w, r); done {
-		return nil
+	if done, err := s.conditional(w, r); done || err != nil {
+		return err
 	}
-	store := s.tr.Store()
+	store := s.tracked().Store()
 	var out relationsResponse
 	if r.URL.Query().Get("pct") != "" {
+		if s.pctDisabled() {
+			return errPctDisabled()
+		}
 		pairs, err := store.PctPairs()
 		if err != nil {
 			return err
@@ -363,7 +377,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 	var regions []core.NamedRegion
-	err = s.tr.View(func(img *config.Image) error {
+	err = s.tracked().View(func(img *config.Image) error {
 		regions = make([]core.NamedRegion, len(img.Regions))
 		for i := range img.Regions {
 			regions[i] = core.NamedRegion{Name: img.Regions[i].ID, Region: img.Regions[i].Geometry()}
@@ -482,16 +496,17 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	if _, done := s.conditional(w, r); done {
-		return nil
+	if done, err := s.conditional(w, r); done || err != nil {
+		return err
 	}
+	tr := s.tracked()
 	out := selectResponse{Reference: refID, Relation: allowed.String(), Matches: []string{}}
-	err = s.tr.View(func(img *config.Image) error {
+	err = tr.View(func(img *config.Image) error {
 		reg := img.FindRegion(refID)
 		if reg == nil {
 			return fmt.Errorf("serve: region %q: %w", refID, config.ErrUnknownRegion)
 		}
-		matches, st, err := s.tr.Index().SelectStatsCtx(r.Context(), reg.Geometry(), allowed)
+		matches, st, err := tr.Index().SelectStatsCtx(r.Context(), reg.Geometry(), allowed)
 		if err != nil {
 			return err
 		}
@@ -551,17 +566,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) error {
 	if req.Q == "" {
 		return failf(http.StatusBadRequest, "serve: missing query (q)")
 	}
-	if _, done := s.conditional(w, r); done {
-		return nil
+	if done, err := s.conditional(w, r); done || err != nil {
+		return err
 	}
+	tr := s.tracked()
 	out := queryResponse{Bindings: []map[string]string{}}
-	err := s.tr.View(func(img *config.Image) error {
+	err := tr.View(func(img *config.Image) error {
 		ev, err := query.NewEvaluator(img)
 		if err != nil {
 			return err
 		}
-		ev.UseStore(s.tr.Store())
-		ev.UseIndex(s.tr.Index())
+		ev.UseStore(tr.Store())
+		ev.UseIndex(tr.Index())
 		ev.SetPlanCache(s.plans)
 		res, err := ev.Run(r.Context(), req.Q, req.Args)
 		if err != nil {
@@ -613,14 +629,15 @@ func (s *Server) handleAdminStatus(w http.ResponseWriter, r *http.Request) error
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) error {
-	if _, done := s.conditional(w, r); done {
-		return nil
+	if done, err := s.conditional(w, r); done || err != nil {
+		return err
 	}
+	tr := s.tracked()
 	var out statsResponse
-	err := s.tr.View(func(img *config.Image) error {
+	err := tr.View(func(img *config.Image) error {
 		out.Regions = len(img.Regions)
-		out.Indexed = s.tr.Index().Len()
-		out.Store = s.tr.Store().Stats()
+		out.Indexed = tr.Index().Len()
+		out.Store = tr.Store().Stats()
 		return nil
 	})
 	if err != nil {

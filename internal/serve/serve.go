@@ -22,12 +22,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cardirect/internal/config"
 	"cardirect/internal/geom"
 	"cardirect/internal/persist"
 	"cardirect/internal/query"
+	"cardirect/internal/replica"
 )
 
 // Editor is the mutation surface the region edit endpoints write through.
@@ -78,16 +80,81 @@ type Options struct {
 	// the daemon refuses oversized networks with 413 instead of melting.
 	// Values ≤ 0 mean 64.
 	MaxNetwork int
+	// Role is the process's replication role: "primary" (the default, also
+	// the empty string) accepts writes; "replica" serves every read route
+	// but rejects writes with 421 not_primary carrying PrimaryURL in the
+	// error details.
+	Role string
+	// PrimaryURL is the primary's advertised base URL, surfaced to clients
+	// whose writes a replica turns away.
+	PrimaryURL string
+	// Repl, when set, makes this process a replication source: GET
+	// /v1/replication/snapshot and /wal serve its retained log. Region
+	// edits must be routed THROUGH it (pass it as New's editor via
+	// Persist-like wiring in cardirectd) for followers to see them.
+	Repl *replica.Primary
+	// Follower, when set, supplies the live tracked store of a tailing
+	// replica — reads resolve through it so a re-bootstrap (primary epoch
+	// change) swaps the world under the server — plus the staleness
+	// surface: Cardirect-Staleness response headers and the
+	// Cardirect-Min-Generation → 503 replica_lagging contract.
+	Follower *replica.Replica
+	// PctDisabled turns the /v1 percent surface off: percent reads answer
+	// 422 pct_disabled. cardirectd sets it for -pct=off worlds (10^5
+	// regions make eager percent matrices prohibitive); replicas inherit
+	// it from the primary's snapshot.
+	PctDisabled bool
+	// Editor overrides the mutation surface writes go through. Nil keeps
+	// the default (Persist when set, else the tracked store itself);
+	// cardirectd passes the replication primary so edits ship to
+	// followers.
+	Editor Editor
 }
 
 // Server serves the cardirectd API over one tracked configuration.
 type Server struct {
-	tr    *config.Tracked
-	edit  Editor
-	opt   Options
-	log   *slog.Logger
-	mux   *http.ServeMux
-	plans *query.PlanCache
+	tr     *config.Tracked // the tracked handed to New; replicas may swap it
+	lastTr atomic.Pointer[config.Tracked]
+	edit   Editor
+	opt    Options
+	log    *slog.Logger
+	mux    *http.ServeMux
+	plans  *query.PlanCache
+}
+
+// tracked resolves the store every request reads: the follower's live
+// tracked when this server is a replica (it is swapped wholesale on
+// re-bootstrap), the construction-time tracked otherwise. A swap resets the
+// plan cache — cached plans validate by generation alone, and a fresh store
+// restarts its generation sequence, so stale entries could otherwise
+// collide with a new store at a coincidentally equal generation.
+func (s *Server) tracked() *config.Tracked {
+	tr := s.tr
+	if f := s.opt.Follower; f != nil {
+		tr = f.Tracked()
+	}
+	if old := s.lastTr.Load(); old != tr {
+		if s.lastTr.CompareAndSwap(old, tr) && old != nil {
+			s.plans.Reset()
+		}
+	}
+	return tr
+}
+
+// replicaRole reports whether this server rejects writes.
+func (s *Server) replicaRole() bool { return s.opt.Role == "replica" }
+
+// pctDisabled reports whether the percent surface is off: explicitly via
+// Options, or implicitly because the primary this replica follows does not
+// ship percent matrices.
+func (s *Server) pctDisabled() bool {
+	if s.opt.PctDisabled {
+		return true
+	}
+	if f := s.opt.Follower; f != nil {
+		return !f.Pct()
+	}
+	return false
 }
 
 // metrics is the process-wide expvar surface, published under "cardirectd":
@@ -119,14 +186,18 @@ func New(tr *config.Tracked, opt Options) *Server {
 	if opt.Persist != nil {
 		s.edit = opt.Persist
 	}
+	if opt.Editor != nil {
+		s.edit = opt.Editor
+	}
 	s.routes()
 	// The expvar namespace is process-global; with several servers (tests)
 	// the last one wins, which matches the one-server production shape.
 	metrics.Set("store", expvar.Func(func() any {
+		st := s.tracked().Store()
 		return map[string]any{
-			"regions":    tr.Store().Len(),
-			"generation": tr.Store().Generation(),
-			"stats":      tr.Store().Stats(),
+			"regions":    st.Len(),
+			"generation": st.Generation(),
+			"stats":      st.Stats(),
 		}
 	}))
 	metrics.Set("plan_cache_hits", expvar.Func(func() any { return s.plans.Stats().Hits }))
@@ -202,6 +273,37 @@ func (s *Server) routeTable() []struct {
 		rt("POST", "/v1/reason/check", "", "reason.check", false, 0, s.handleReasonCheck),
 		rt("POST", "/v1/reason/entail", "", "reason.entail", false, 0, s.handleReasonEntail),
 		rt("POST", "/v1/reason/compose", "", "reason.compose", false, 0, s.handleReasonCompose),
+		rt("GET", "/v1/replication/snapshot", "", "replication.snapshot", false, 0, s.handleReplSnapshot),
+		rt("GET", "/v1/replication/wal", "", "replication.wal", false, 0, s.handleReplWAL),
+		rt("GET", "/v1/replication/status", "", "replication.status", false, 0, s.handleReplStatus),
+	}
+}
+
+// writeRoutes names the routes that mutate the world. A replica refuses
+// them with 421 not_primary — followers apply edits only through the
+// replication stream, never from clients.
+var writeRoutes = map[string]bool{
+	"regions.add":    true,
+	"regions.set":    true,
+	"regions.rename": true,
+	"regions.delete": true,
+	"bulk":           true,
+	"admin.snapshot": true,
+}
+
+// gateWrites rejects mutations on replicas, pointing the client at the
+// primary.
+func (s *Server) gateWrites(h handlerFunc) handlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		if s.replicaRole() {
+			details := map[string]any{}
+			if s.opt.PrimaryURL != "" {
+				details["primary"] = s.opt.PrimaryURL
+			}
+			return failCode(http.StatusMisdirectedRequest, "not_primary", details,
+				"serve: this node is a read replica; send writes to the primary")
+		}
+		return h(w, r)
 	}
 }
 
@@ -225,9 +327,13 @@ func (s *Server) routes() {
 		if limit <= 0 {
 			limit = s.opt.MaxBodyBytes
 		}
-		s.handleLimit(e.Method+" "+e.Path, e.Name, limit, e.h)
+		h := e.h
+		if writeRoutes[e.Name] {
+			h = s.gateWrites(h)
+		}
+		s.handleLimit(e.Method+" "+e.Path, e.Name, limit, h)
 		if e.Legacy != "" {
-			s.handleLimit(e.Method+" "+e.Legacy, e.Name, limit, legacyAlias(e.h, e.Deprecated))
+			s.handleLimit(e.Method+" "+e.Legacy, e.Name, limit, legacyAlias(h, e.Deprecated))
 		}
 	}
 	s.mux.Handle("GET /debug/vars", expvar.Handler())

@@ -143,6 +143,12 @@ type Options struct {
 	Policy SyncPolicy
 	// Interval is the SyncInterval deadline; values ≤ 0 mean one second.
 	Interval time.Duration
+	// BaseSeq is the sequence number already consumed before this writer's
+	// first record: the next Append is record BaseSeq+1. Records in a log
+	// are numbered 1..n from the header, so a writer continuing an existing
+	// log passes BaseSeq = number of records already in the file (as
+	// counted by ReplayFile). The zero value starts a fresh numbering at 1.
+	BaseSeq uint64
 }
 
 // Metrics counts a writer's work; read them through Writer.Metrics.
@@ -170,6 +176,7 @@ type Writer struct {
 	buf      []byte
 	m        Metrics
 	lastSync time.Time
+	seq      uint64 // sequence of the last appended record (opt.BaseSeq before any)
 }
 
 // Create creates (or truncates) a fresh log at path, writing the header.
@@ -222,8 +229,17 @@ func newWriter(f *os.File, opt Options) *Writer {
 	if opt.Interval <= 0 {
 		opt.Interval = time.Second
 	}
-	return &Writer{f: f, opt: opt, lastSync: time.Now()}
+	return &Writer{f: f, opt: opt, lastSync: time.Now(), seq: opt.BaseSeq}
 }
+
+// NextSeq reports the sequence number the next appended record will carry.
+// Sequences are explicit so a replication reader can resume mid-log: record
+// k of a log whose writer started at BaseSeq b has sequence b+k.
+func (w *Writer) NextSeq() uint64 { return w.seq + 1 }
+
+// LastSeq reports the sequence number of the most recently appended record,
+// or Options.BaseSeq when nothing has been appended yet.
+func (w *Writer) LastSeq() uint64 { return w.seq }
 
 // Append encodes and writes one record, fsyncing according to the policy.
 // When Append returns nil under SyncAlways, the record is on stable
@@ -244,6 +260,7 @@ func (w *Writer) Append(rec Record) error {
 	}
 	w.m.Records++
 	w.m.Bytes += int64(frameSize + len(payload))
+	w.seq++
 	switch w.opt.Policy {
 	case SyncAlways:
 		return w.Sync()
@@ -283,6 +300,7 @@ func (w *Writer) AppendBatch(recs []Record) error {
 	}
 	w.m.Records += int64(len(recs))
 	w.m.Bytes += int64(len(buf))
+	w.seq += uint64(len(recs))
 	switch w.opt.Policy {
 	case SyncAlways:
 		return w.Sync()
@@ -361,6 +379,18 @@ func ReplayFile(path string) (recs []Record, validSize int64, corr *Corruption, 
 
 // Replay decodes the intact prefix of a log image. See ReplayFile.
 func Replay(data []byte) (recs []Record, validSize int64, corr *Corruption) {
+	return ReplayFrom(data, 0)
+}
+
+// ReplayFrom decodes the intact prefix of a log image like Replay, but only
+// returns records with sequence number ≥ fromSeq, where record k of the log
+// (counting from 1 after the header) has sequence k. Every frame of the
+// prefix is still CRC-verified and decoded — skipping is about what is
+// returned, not what is checked — so validSize and corr are identical to
+// Replay's for the same input. A writer that continued a log at
+// Options.BaseSeq b numbers its records b+1..; callers resuming against
+// such a log pass fromSeq-b here. fromSeq ≤ 1 returns every record.
+func ReplayFrom(data []byte, fromSeq uint64) (recs []Record, validSize int64, corr *Corruption) {
 	if len(data) == 0 {
 		return nil, 0, nil
 	}
@@ -369,6 +399,7 @@ func Replay(data []byte) (recs []Record, validSize int64, corr *Corruption) {
 	}
 	off := int64(len(Magic))
 	rest := data[len(Magic):]
+	seq := uint64(0)
 	for len(rest) > 0 {
 		if len(rest) < frameSize {
 			return recs, off, &Corruption{Offset: off, Reason: fmt.Sprintf("torn frame: %d trailing bytes", len(rest))}
@@ -392,12 +423,28 @@ func Replay(data []byte) (recs []Record, validSize int64, corr *Corruption) {
 			// handled the same way: keep the intact prefix.
 			return recs, off, &Corruption{Offset: off, Reason: err.Error()}
 		}
-		recs = append(recs, rec)
+		seq++
+		if seq >= fromSeq {
+			recs = append(recs, rec)
+		}
 		step := int64(frameSize) + int64(n)
 		off += step
 		rest = rest[step:]
 	}
 	return recs, off, nil
+}
+
+// EncodeRecord encodes rec's payload — the bytes between the frame header
+// and the next frame — exactly as Append frames it. Replication ships these
+// payloads over its own framing; DecodeRecord is the inverse.
+func EncodeRecord(rec Record) []byte {
+	return appendRecord(nil, rec)
+}
+
+// DecodeRecord decodes one payload as produced by EncodeRecord (or found
+// inside a log frame). Arbitrary input returns an error, never panics.
+func DecodeRecord(payload []byte) (Record, error) {
+	return decodeRecord(payload)
 }
 
 // frameLen fills the 8-byte frame header (length + CRC32C) for payload.
